@@ -1,0 +1,38 @@
+# Convenience targets for the HMPI reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench figures examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every figure/table of EXPERIMENTS.md (writes CSVs to out/).
+figures:
+	$(GO) run ./cmd/hmpibench -fig all -o out
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/em3d
+	$(GO) run ./examples/matmul
+	$(GO) run ./examples/jacobi
+	$(GO) run ./examples/adaptive
+	$(GO) run ./examples/multiprotocol
+	$(GO) run ./examples/faulttolerance
+	$(GO) run ./examples/nestedgroups
+	$(GO) run ./examples/tcptransport
+
+clean:
+	rm -rf out test_output.txt bench_output.txt

@@ -1,0 +1,80 @@
+// Command hmpibench regenerates the figures of the paper's evaluation
+// section (and this reproduction's validation/ablation tables) on the
+// simulated 9-workstation heterogeneous network.
+//
+// Usage:
+//
+//	hmpibench -fig 11a          # one figure as a text table
+//	hmpibench -fig all          # everything
+//	hmpibench -fig 9a -csv      # comma-separated output
+//	hmpibench -list             # available figure IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// writeCSV stores one figure as CSV in dir.
+func writeCSV(dir, id string, f *experiments.Figure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	file, err := os.Create(dir + "/fig_" + id + ".csv")
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	return experiments.CSV(f, file)
+}
+
+func main() {
+	fig := flag.String("fig", "all", "figure ID to regenerate (see -list), or 'all'")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	outDir := flag.String("o", "", "also write each figure as <dir>/fig_<id>.csv")
+	list := flag.Bool("list", false, "list available figure IDs and exit")
+	flag.Parse()
+
+	reg := experiments.Registry()
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+
+	ids := experiments.IDs()
+	if *fig != "all" {
+		if _, ok := reg[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "hmpibench: unknown figure %q (try -list)\n", *fig)
+			os.Exit(2)
+		}
+		ids = []string{*fig}
+	}
+	for _, id := range ids {
+		f, err := reg[id]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hmpibench: figure %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		var renderErr error
+		if *csv {
+			renderErr = experiments.CSV(f, os.Stdout)
+		} else {
+			renderErr = experiments.Render(f, os.Stdout)
+		}
+		if renderErr != nil {
+			fmt.Fprintf(os.Stderr, "hmpibench: %v\n", renderErr)
+			os.Exit(1)
+		}
+		if *outDir != "" {
+			if err := writeCSV(*outDir, id, f); err != nil {
+				fmt.Fprintf(os.Stderr, "hmpibench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,171 @@
+// Command hmpirun executes one of the demonstration applications on a
+// simulated heterogeneous network, under HMPI group selection or the
+// plain-MPI baseline, and prints the simulated execution time and the
+// selected group.
+//
+// Usage:
+//
+//	hmpirun -app em3d -nodes 400000 -iters 10
+//	hmpirun -app em3d -mode mpi
+//	hmpirun -app matmul -n 90 -r 9 -l 9
+//	hmpirun -app matmul -mode both -cluster mynet.json
+//
+// The cluster defaults to the paper's nine-workstation network; -cluster
+// loads a JSON configuration (see hnoc.Cluster).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps/em3d"
+	"repro/internal/apps/jacobi"
+	"repro/internal/apps/matmul"
+	"repro/internal/hmpi"
+	"repro/internal/hnoc"
+	"repro/internal/mpi"
+)
+
+func main() {
+	app := flag.String("app", "em3d", "application: em3d, matmul or jacobi")
+	mode := flag.String("mode", "both", "hmpi, mpi or both")
+	clusterPath := flag.String("cluster", "", "cluster JSON file (default: the paper's 9-machine network)")
+	nodes := flag.Int("nodes", 400_000, "em3d: total nodes")
+	subbodies := flag.Int("p", 9, "em3d: number of subbodies")
+	iters := flag.Int("iters", 10, "em3d: iterations")
+	n := flag.Int("n", 90, "matmul: matrix size in r x r blocks")
+	r := flag.Int("r", 9, "matmul: block size in elements")
+	l := flag.Int("l", 9, "matmul: generalised block size (0 = search)")
+	m := flag.Int("m", 3, "matmul: processor grid dimension")
+	gridRows := flag.Int("grid", 1800, "jacobi: grid dimension (rows = cols)")
+	trace := flag.Bool("trace", false, "print a per-process activity timeline after each run")
+	ganttWidth := flag.Int("trace-width", 100, "timeline width in columns")
+	flag.Parse()
+
+	cluster := hnoc.Paper9()
+	if *clusterPath != "" {
+		var err error
+		cluster, err = hnoc.LoadFile(*clusterPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	var lastTrace *mpi.Trace
+	newRT := func() *hmpi.Runtime {
+		rt, err := hmpi.New(hmpi.Config{Cluster: cluster})
+		if err != nil {
+			fatal(err)
+		}
+		if *trace {
+			lastTrace = rt.EnableTracing()
+		}
+		return rt
+	}
+	printTrace := func(label string, ranks int) {
+		if !*trace || lastTrace == nil {
+			return
+		}
+		fmt.Printf("--- %s timeline ---\n", label)
+		if err := lastTrace.Gantt(os.Stdout, ranks, *ganttWidth); err != nil {
+			fatal(err)
+		}
+		lastTrace = nil
+	}
+
+	switch *app {
+	case "em3d":
+		pr, err := em3d.Generate(em3d.Config{P: *subbodies, TotalNodes: *nodes, Light: true})
+		if err != nil {
+			fatal(err)
+		}
+		opts := em3d.RunOptions{Iters: *iters}
+		if *mode == "hmpi" || *mode == "both" {
+			res, err := em3d.RunHMPI(newRT(), pr, opts)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("em3d hmpi: time %.6gs predicted %.6gs selection %v\n",
+				float64(res.Time), res.Predicted, res.Selection)
+			printTrace("em3d hmpi", len(cluster.Machines))
+		}
+		if *mode == "mpi" || *mode == "both" {
+			res, err := em3d.RunMPI(newRT(), pr, opts)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("em3d mpi:  time %.6gs selection %v\n", float64(res.Time), res.Selection)
+			printTrace("em3d mpi", len(cluster.Machines))
+		}
+	case "matmul":
+		pr, err := matmul.Generate(matmul.Config{M: *m, R: *r, N: *n})
+		if err != nil {
+			fatal(err)
+		}
+		if *mode == "hmpi" || *mode == "both" {
+			ls := []int{*l}
+			if *l == 0 {
+				ls = candidateBlockSizes(*m, *n)
+			}
+			res, err := matmul.RunHMPI(newRT(), pr, ls, matmul.RunOptions{})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("matmul hmpi: time %.6gs predicted %.6gs l=%d selection %v\n",
+				float64(res.Time), res.Predicted, res.L, res.Selection)
+			printTrace("matmul hmpi", len(cluster.Machines))
+		}
+		if *mode == "mpi" || *mode == "both" {
+			res, err := matmul.RunMPI(newRT(), pr, matmul.RunOptions{})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("matmul mpi:  time %.6gs selection %v\n", float64(res.Time), res.Selection)
+			printTrace("matmul mpi", len(cluster.Machines))
+		}
+	case "jacobi":
+		pr, err := jacobi.Generate(jacobi.Config{Rows: *gridRows, Cols: *gridRows, Iters: *iters, P: *subbodies})
+		if err != nil {
+			fatal(err)
+		}
+		if *mode == "hmpi" || *mode == "both" {
+			res, err := jacobi.RunHMPI(newRT(), pr, false)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("jacobi hmpi: time %.6gs predicted %.6gs heights %v selection %v\n",
+				float64(res.Time), res.Predicted, res.Heights, res.Selection)
+			printTrace("jacobi hmpi", len(cluster.Machines))
+		}
+		if *mode == "mpi" || *mode == "both" {
+			res, err := jacobi.RunMPI(newRT(), pr, false)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("jacobi mpi:  time %.6gs heights %v\n", float64(res.Time), res.Heights)
+			printTrace("jacobi mpi", len(cluster.Machines))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "hmpirun: unknown app %q\n", *app)
+		os.Exit(2)
+	}
+}
+
+// candidateBlockSizes returns a geometric sweep of generalised block sizes
+// between m and n for the HMPI_Timeof search.
+func candidateBlockSizes(m, n int) []int {
+	var out []int
+	for l := m; l <= n; l *= 2 {
+		out = append(out, l)
+	}
+	if len(out) == 0 || out[len(out)-1] != n {
+		out = append(out, n)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "hmpirun: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCandidateBlockSizes(t *testing.T) {
+	cases := []struct {
+		m, n int
+		want []int
+	}{
+		{3, 24, []int{3, 6, 12, 24}},
+		{3, 20, []int{3, 6, 12, 20}},
+		{2, 2, []int{2}},
+		{3, 3, []int{3}},
+	}
+	for _, tc := range cases {
+		got := candidateBlockSizes(tc.m, tc.n)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("candidateBlockSizes(%d,%d) = %v, want %v", tc.m, tc.n, got, tc.want)
+		}
+		// Every candidate is feasible: m <= l <= n.
+		for _, l := range got {
+			if l < tc.m || l > tc.n {
+				t.Errorf("candidate %d outside [%d,%d]", l, tc.m, tc.n)
+			}
+		}
+	}
+}

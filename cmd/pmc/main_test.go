@@ -1,0 +1,96 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/pmdl"
+)
+
+func TestConvertArg(t *testing.T) {
+	cases := []struct {
+		in   any
+		want any
+	}{
+		{float64(5), 5},
+		{float64(2.5), 2.5},
+		{[]any{float64(1), float64(2)}, []int{1, 2}},
+		{
+			[]any{[]any{float64(1)}, []any{float64(2)}},
+			[][]int{{1}, {2}},
+		},
+		{
+			[]any{[]any{[]any{float64(7)}}},
+			[][][]int{{{7}}},
+		},
+		{
+			[]any{[]any{[]any{[]any{float64(9)}}}},
+			[][][][]int{{{{9}}}},
+		},
+	}
+	for _, tc := range cases {
+		got := convertArg(tc.in)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("convertArg(%v) = %#v, want %#v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestConvertArgEmptyArray(t *testing.T) {
+	got := convertArg([]any{})
+	if !reflect.DeepEqual(got, []int{}) {
+		t.Errorf("empty array converted to %#v", got)
+	}
+}
+
+func TestGenerateGo(t *testing.T) {
+	src, err := os.ReadFile("../../models/em3d.mpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := pmdl.ParseModel(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := generateGo("mypkg", "em3d.mpc", model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The output is valid Go.
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "gen.go", out, 0)
+	if err != nil {
+		t.Fatalf("generated code does not parse: %v\n%s", err, out)
+	}
+	if file.Name.Name != "mypkg" {
+		t.Fatalf("package %q", file.Name.Name)
+	}
+	for _, want := range []string{"Em3dModelSource", "NewEm3dModel", "DO NOT EDIT"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+	// The embedded source is a valid model equivalent to the input.
+	start := strings.Index(out, "`")
+	end := strings.LastIndex(out, "`")
+	embedded := out[start+1 : end]
+	m2, err := pmdl.ParseModel(embedded)
+	if err != nil {
+		t.Fatalf("embedded source invalid: %v", err)
+	}
+	if m2.Name() != "Em3d" {
+		t.Fatalf("embedded model name %q", m2.Name())
+	}
+}
+
+func TestExportedName(t *testing.T) {
+	for in, want := range map[string]string{"em3d": "Em3d", "ParallelAxB": "ParallelAxB", "": "Model"} {
+		if got := exportedName(in); got != want {
+			t.Errorf("exportedName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

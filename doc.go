@@ -1,0 +1,17 @@
+// Package repro is a Go reproduction of "HMPI: Towards a Message-Passing
+// Library for Heterogeneous Networks of Computers" (Lastovetsky & Reddy,
+// IPPS 2003).
+//
+// The library lives under internal/: the HMPI runtime (internal/hmpi), the
+// performance-model definition language (internal/pmdl), the
+// message-passing substrate with virtual-time execution (internal/mpi),
+// the heterogeneous network model (internal/hnoc), data partitioning
+// (internal/partition), time estimation and group selection
+// (internal/sched, internal/estimator, internal/mapper), the two
+// demonstration applications (internal/apps/em3d, internal/apps/matmul)
+// and the experiment harness (internal/experiments).
+//
+// The benchmarks in this package regenerate a representative point of
+// every figure and table of the paper's evaluation; the full sweeps are
+// produced by cmd/hmpibench. See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

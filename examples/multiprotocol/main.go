@@ -1,0 +1,78 @@
+// Multiprotocol: the first challenge in the paper's introduction — a
+// heterogeneous network mixes communication protocols, and "a good
+// parallel application should be able to use multiple network protocols
+// between different pairs of processors within the same application".
+//
+// The message-passing substrate picks the channel per process pair:
+// processes on one machine exchange data through shared memory, remote
+// pairs through TCP on the switched Ethernet. The example runs the same
+// neighbour-exchange program under three placements of four processes and
+// shows how co-location changes both the protocols used and the simulated
+// time.
+//
+// Run: go run ./examples/multiprotocol
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hnoc"
+	"repro/internal/mpi"
+)
+
+func main() {
+	cluster := &hnoc.Cluster{
+		Remote: hnoc.Ethernet100(),
+		Local:  hnoc.SharedMemory(),
+		Machines: []hnoc.Machine{
+			{Name: "alpha", Speed: 50},
+			{Name: "beta", Speed: 50},
+			{Name: "gamma", Speed: 50},
+			{Name: "delta", Speed: 50},
+		},
+	}
+
+	placements := []struct {
+		name  string
+		place []int // process -> machine
+	}{
+		{"four machines (all TCP)", []int{0, 1, 2, 3}},
+		{"two machines, ring neighbours co-located", []int{0, 0, 1, 1}},
+		{"one machine (all shared memory)", []int{0, 0, 0, 0}},
+	}
+
+	const (
+		rounds  = 50
+		payload = 256 << 10 // 256 KiB per neighbour per round
+	)
+
+	for _, pl := range placements {
+		w := mpi.NewWorld(cluster, pl.place)
+		err := w.Run(func(p *mpi.Proc) error {
+			comm := p.CommWorld()
+			me := comm.Rank()
+			right := (me + 1) % comm.Size()
+			left := (me - 1 + comm.Size()) % comm.Size()
+			buf := make([]byte, payload)
+			for r := 0; r < rounds; r++ {
+				comm.Sendrecv(right, r, buf, left, r)
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s\n", pl.name)
+		for rank := 0; rank < len(pl.place); rank++ {
+			next := (rank + 1) % len(pl.place)
+			link := cluster.Link(pl.place[rank], pl.place[next])
+			fmt.Printf("  %d->%d via %-3s (%.0f MB/s, %v latency)\n",
+				rank, next, link.Protocol, link.Bandwidth/1e6, link.Latency)
+		}
+		fmt.Printf("  time: %.4f s\n\n", float64(w.Makespan()))
+	}
+	fmt.Println("Mixing protocols inside one application (placement 2) keeps the")
+	fmt.Println("co-located pairs on shared memory and only crosses the wire where")
+	fmt.Println("it must — the capability standard MPI of 2003 lacked.")
+}

@@ -1,0 +1,120 @@
+// Nested groups: the paper's parent mechanism in full generality. "Every
+// newly created group has exactly one process shared with already existing
+// groups. That process is called a parent of this newly created group, and
+// is the connecting link, through which results of computations are passed
+// if the group ceases to exist."
+//
+// A top-level group of coordinators splits a workload; one coordinator
+// discovers a heavy subproblem and — without involving the host — spawns a
+// child group from the free pool, with itself as the parent, farms the
+// subproblem out, collects the result over the child's communicator, frees
+// the child and reports back within the top group.
+//
+// Run: go run ./examples/nestedgroups
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hmpi"
+	"repro/internal/hnoc"
+	"repro/internal/mpi"
+	"repro/internal/pmdl"
+)
+
+const modelSrc = `
+algorithm Workers(int p, int v[p]) {
+  coord I=p;
+  node {I>=0: bench*(v[I]);};
+  parent[0];
+  scheme {
+    int i;
+    par (i = 0; i < p; i++) 100%%[i];
+  };
+}
+`
+
+func main() {
+	// Twelve machines: enough for a top group of 3 and a child of 4.
+	cluster := hnoc.Homogeneous(12, 50)
+	cluster.Machines[9].Speed = 200 // fast spare capacity for the child
+	cluster.Machines[10].Speed = 150
+	model, err := pmdl.ParseModel(modelSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt, err := hmpi.New(hmpi.Config{Cluster: cluster})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	err = rt.Run(func(h *hmpi.Process) error {
+		// Top group: three coordinators with light bookkeeping work.
+		var top *hmpi.Group
+		var err error
+		if h.IsHost() || h.IsFree() {
+			top, err = h.GroupCreate(model, 3, []int{5, 5, 5})
+			if err != nil {
+				return err
+			}
+		}
+
+		switch {
+		case h.IsMember(top) && top.Rank() == 2:
+			// This coordinator hits a heavy subproblem: farm it to a
+			// child group of four, parented here (not at the host).
+			child, err := h.GroupCreateChild(model, 4, []int{1, 120, 90, 40})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("coordinator (world rank %d) spawned a child group on machines %v\n",
+				h.Rank(), child.WorldRanks())
+			// Execute: each child member computes its share; the
+			// parent gathers partial results through the child comm.
+			h.Proc().Compute(1)
+			results := child.Comm().Gather(child.ParentRank(),
+				mpi.Float64Bytes([]float64{float64(h.Rank())}))
+			fmt.Printf("child results gathered from %d members\n", len(results))
+			if err := h.GroupFree(child); err != nil {
+				return err
+			}
+			// Report within the top group.
+			top.Comm().Send(0, 1, []byte("subproblem done"))
+
+		case h.IsMember(top) && top.Rank() == 0:
+			h.Proc().Compute(5)
+			msg, _ := top.Comm().Recv(2, 1)
+			fmt.Printf("host received from coordinator 2: %q\n", msg)
+
+		case h.IsMember(top):
+			h.Proc().Compute(5)
+
+		case !h.IsHost():
+			// Free processes stand by for the child creation.
+			child, err := h.GroupCreate(nil)
+			if err != nil {
+				return err
+			}
+			if h.IsMember(child) {
+				units := []float64{1, 120, 90, 40}[child.Rank()]
+				h.Proc().Compute(units)
+				child.Comm().Gather(child.ParentRank(),
+					mpi.Float64Bytes([]float64{float64(h.Rank())}))
+				return h.GroupFree(child)
+			}
+		}
+
+		if h.IsMember(top) {
+			top.Comm().Barrier()
+			return h.GroupFree(top)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated time: %.3f s\n", float64(rt.Makespan()))
+	fmt.Println("\nThe child's heavy workers landed on the fast spare machines,")
+	fmt.Println("selected by the same model-driven machinery as host-level groups.")
+}

@@ -1,0 +1,147 @@
+// Quickstart: the canonical HMPI program shape on a small heterogeneous
+// network — initialise the runtime, refresh speed estimates with
+// HMPI_Recon, describe the algorithm with a performance model, create the
+// optimal group with HMPI_Group_create, communicate over the group's MPI
+// communicator, free the group.
+//
+// The modelled "algorithm" is a toy: four workers with different workloads
+// exchange results in a ring. HMPI places the heavy workers on the fast
+// machines; the program prints the selection and the simulated time.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hmpi"
+	"repro/internal/hnoc"
+	"repro/internal/pmdl"
+)
+
+// The performance model: p workers, worker I performs v[I] benchmark units
+// and passes b bytes to its right neighbour each of the s steps.
+const modelSrc = `
+algorithm RingPipeline(int p, int s, int v[p], int b) {
+  coord I=p;
+  node {I>=0: bench*(v[I]);};
+  link (L=p) {
+    I>=0 && ((L+1) % p == I) : length*(s*b) [L]->[I];
+  };
+  parent[0];
+  scheme {
+    int step, i, l;
+    for (step = 0; step < s; step++) {
+      par (i = 0; i < p; i++) (100.0/s)%%[i];
+      par (i = 0; i < p; i++)
+        par (l = 0; l < p; l++)
+          if ((l+1) % p == i) (100.0/s)%%[l]->[i];
+    }
+  };
+}
+`
+
+func main() {
+	// A network of six machines: four ordinary, one fast, one slow.
+	cluster := &hnoc.Cluster{
+		Remote: hnoc.Ethernet100(),
+		Local:  hnoc.SharedMemory(),
+		Machines: []hnoc.Machine{
+			{Name: "host", Speed: 50},
+			{Name: "node1", Speed: 50},
+			{Name: "node2", Speed: 50},
+			{Name: "fast", Speed: 200},
+			{Name: "slow", Speed: 10},
+			{Name: "node3", Speed: 50},
+		},
+	}
+
+	model, err := pmdl.ParseModel(modelSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rt, err := hmpi.New(hmpi.Config{Cluster: cluster})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const (
+		workers = 4
+		steps   = 5
+		bytes   = 64 << 10
+	)
+	workload := []int{10, 80, 20, 40} // benchmark units per worker
+
+	err = rt.Run(func(h *hmpi.Process) error {
+		// 1. HMPI_Recon: measure actual speeds with the application's
+		// benchmark kernel (here: one abstract unit of work).
+		if err := h.Recon(hmpi.DefaultBenchmark(1)); err != nil {
+			return err
+		}
+
+		// 2. HMPI_Group_create: the runtime selects the processes that
+		// run the algorithm fastest. Only the host passes the model.
+		var g *hmpi.Group
+		var err error
+		if h.IsHost() || h.IsFree() {
+			g, err = h.GroupCreate(model, workers, steps, workload, bytes)
+			if err != nil {
+				return err
+			}
+		}
+		if !h.IsMember(g) {
+			return nil // not selected: nothing to do
+		}
+
+		// 3. HMPI_Get_comm: standard MPI over the selected group.
+		comm := g.Comm()
+		me := g.Rank()
+		h.Proc().Compute(float64(workload[me]))
+		right := (me + 1) % g.Size()
+		left := (me - 1 + g.Size()) % g.Size()
+		for step := 0; step < steps; step++ {
+			buf := make([]byte, bytes)
+			got, _ := comm.Sendrecv(right, step, buf, left, step)
+			_ = got
+		}
+		comm.Barrier()
+
+		if h.IsHost() {
+			fmt.Printf("selected processes (worker -> machine): %v\n", g.WorldRanks())
+			for w, rank := range g.WorldRanks() {
+				fmt.Printf("  worker %d (%3d units) -> %-5s (speed %3.0f)\n",
+					w, workload[w], cluster.Machines[rank].Name, cluster.Machines[rank].Speed)
+			}
+		}
+
+		// 4. HMPI_Group_free.
+		return h.GroupFree(g)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated execution time: %.4f s\n", float64(rt.Makespan()))
+
+	// For contrast: what a naive group (first four processes in rank
+	// order) would have cost, using the estimator through HMPI_Timeof.
+	rt2, err := hmpi.New(hmpi.Config{Cluster: cluster})
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = rt2.Run(func(h *hmpi.Process) error {
+		if !h.IsHost() {
+			return nil
+		}
+		t, err := h.Timeof(model, workers, steps, workload, bytes)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("HMPI_Timeof prediction for the best group: %.4f s\n", t)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

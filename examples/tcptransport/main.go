@@ -1,0 +1,63 @@
+// TCP transport: the same message-passing programs, with their traffic
+// carried over real TCP sockets on the loopback interface instead of
+// in-process queues. Virtual timestamps travel inside the frames, so a
+// program produces bit-identical simulated times under either transport —
+// this example runs one workload both ways and checks.
+//
+// Run: go run ./examples/tcptransport
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/hnoc"
+	"repro/internal/mpi"
+)
+
+func main() {
+	cluster := hnoc.Paper9()
+
+	program := func(p *mpi.Proc) error {
+		comm := p.CommWorld()
+		// A small stencil-style workload: compute, exchange with ring
+		// neighbours, reduce a norm.
+		p.Compute(float64(20 * (p.Rank() + 1)))
+		right := (comm.Rank() + 1) % comm.Size()
+		left := (comm.Rank() - 1 + comm.Size()) % comm.Size()
+		for it := 0; it < 5; it++ {
+			comm.Sendrecv(right, it, make([]byte, 64<<10), left, it)
+		}
+		norm := comm.Allreduce(mpi.Float64Bytes([]float64{float64(p.Rank())}), mpi.SumFloat64)
+		_ = norm
+		comm.Barrier()
+		return nil
+	}
+
+	inproc := mpi.NewWorld(cluster, mpi.OneProcessPerMachine(cluster))
+	if err := inproc.Run(program); err != nil {
+		log.Fatal(err)
+	}
+
+	tcp, closeTCP, err := mpi.NewWorldTCP(cluster, mpi.OneProcessPerMachine(cluster))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer closeTCP()
+	if err := tcp.Run(program); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("in-process transport: simulated %.6f s\n", float64(inproc.Makespan()))
+	fmt.Printf("TCP transport:        simulated %.6f s\n", float64(tcp.Makespan()))
+	if inproc.Makespan() == tcp.Makespan() {
+		fmt.Println("identical virtual times: the timing model is transport-independent")
+	} else {
+		log.Fatal("virtual times diverged — this is a bug")
+	}
+	var bytes int64
+	for _, st := range tcp.Stats() {
+		bytes += st.BytesSent
+	}
+	fmt.Printf("moved %.1f MB through real loopback sockets\n", float64(bytes)/1e6)
+}

@@ -1,0 +1,334 @@
+package em3d
+
+import (
+	"fmt"
+
+	"repro/internal/hmpi"
+	"repro/internal/mpi"
+	"repro/internal/vclock"
+)
+
+// Field snapshots returned by runs, for verification: E values per body.
+type Field [][]float64
+
+// snapshotE copies the E values of all bodies.
+func (pr *Problem) snapshotE() Field {
+	out := make(Field, len(pr.Bodies))
+	for i, b := range pr.Bodies {
+		out[i] = append([]float64(nil), b.E...)
+	}
+	return out
+}
+
+// Clone deep-copies the problem so independent runs start from the same
+// initial field values.
+func (pr *Problem) Clone() *Problem {
+	cp := &Problem{K: pr.K, FlopsPerNode: pr.FlopsPerNode, Light: pr.Light, DepH: pr.DepH, DepE: pr.DepE}
+	for _, b := range pr.Bodies {
+		cp.Bodies = append(cp.Bodies, &Body{
+			E: append([]float64(nil), b.E...), H: append([]float64(nil), b.H...),
+			EDeps: b.EDeps, HDeps: b.HDeps,
+		})
+	}
+	return cp
+}
+
+// lookupH resolves an H-node dependency of body `me`.
+func (pr *Problem) lookupH(me int, ref NodeRef, remote map[int][]float64) float64 {
+	if ref.Body < 0 {
+		return pr.Bodies[me].H[ref.Index]
+	}
+	vals, ok := remote[ref.Body]
+	if !ok {
+		return pr.Bodies[ref.Body].H[ref.Index] // serial path
+	}
+	return vals[ref.Index]
+}
+
+func (pr *Problem) lookupE(me int, ref NodeRef, remote map[int][]float64) float64 {
+	if ref.Body < 0 {
+		return pr.Bodies[me].E[ref.Index]
+	}
+	vals, ok := remote[ref.Body]
+	if !ok {
+		return pr.Bodies[ref.Body].E[ref.Index]
+	}
+	return vals[ref.Index]
+}
+
+// computeE updates the E values of body `me` from (local and remote) H
+// values. remote maps neighbour body index to a dense copy of that body's
+// relevant H array; nil remote reads neighbour bodies directly (serial).
+func (pr *Problem) computeE(me int, remote map[int][]float64) {
+	b := pr.Bodies[me]
+	for n := range b.E {
+		sum := 0.0
+		for _, ref := range b.EDeps[n] {
+			sum += pr.lookupH(me, ref, remote)
+		}
+		b.E[n] = 0.9*b.E[n] + 0.1*sum/float64(len(b.EDeps[n]))
+	}
+}
+
+// computeH updates the H values of body `me` from E values.
+func (pr *Problem) computeH(me int, remote map[int][]float64) {
+	b := pr.Bodies[me]
+	for n := range b.H {
+		sum := 0.0
+		for _, ref := range b.HDeps[n] {
+			sum += pr.lookupE(me, ref, remote)
+		}
+		b.H[n] = 0.9*b.H[n] + 0.1*sum/float64(len(b.HDeps[n]))
+	}
+}
+
+// SerialRun is the reference implementation: it updates all subbodies in
+// sequence for the given number of iterations and returns the final E
+// field. The update order matches the parallel algorithm (all E phases
+// read the previous H values), so results agree bit-for-bit.
+func (pr *Problem) SerialRun(iters int) Field {
+	for it := 0; it < iters; it++ {
+		for me := range pr.Bodies {
+			pr.computeE(me, nil)
+		}
+		for me := range pr.Bodies {
+			pr.computeH(me, nil)
+		}
+	}
+	return pr.snapshotE()
+}
+
+// RunOptions tune a parallel run.
+type RunOptions struct {
+	// Iters is the number of simulation iterations.
+	Iters int
+	// RealMath performs the actual floating-point updates (for
+	// verification at small sizes). When false, only the simulated
+	// computation time is charged; transferred buffers keep their
+	// correct sizes.
+	RealMath bool
+}
+
+// tags for the two exchange phases.
+const (
+	tagHBoundary = 1
+	tagEBoundary = 2
+)
+
+// RunParallel executes the parallel EM3D algorithm on the given
+// communicator: communicator rank i computes subbody i. The communicator
+// size must equal the number of subbodies. This one function serves both
+// the plain-MPI baseline and the HMPI version — exactly as in the paper,
+// where the computational code of the two programs is identical and only
+// group creation differs.
+func RunParallel(comm *mpi.Comm, pr *Problem, opts RunOptions) error {
+	p := len(pr.Bodies)
+	if comm.Size() != p {
+		return fmt.Errorf("em3d: %d processes for %d subbodies", comm.Size(), p)
+	}
+	if opts.RealMath && pr.Light {
+		return fmt.Errorf("em3d: a Light problem has no dependency lists; real math impossible")
+	}
+	me := comm.Rank()
+	body := pr.Bodies[me]
+
+	// Precompute boundary volumes for the charge-only path.
+	for it := 0; it < opts.Iters; it++ {
+		// Phase 1: gather remote H boundary values, then compute E.
+		remoteH, err := exchangeBoundary(comm, pr, me, tagHBoundary, pr.DepH, func(j int) []float64 { return pr.Bodies[j].H })
+		if err != nil {
+			return err
+		}
+		comm.Proc().Compute(pr.KernelUnits(len(body.E)))
+		if opts.RealMath {
+			pr.computeE(me, remoteH)
+		}
+		// Phase 2: gather remote E boundary values, then compute H.
+		remoteE, err := exchangeBoundary(comm, pr, me, tagEBoundary, pr.DepE, func(j int) []float64 { return pr.Bodies[j].E })
+		if err != nil {
+			return err
+		}
+		comm.Proc().Compute(pr.KernelUnits(len(body.H)))
+		if opts.RealMath {
+			pr.computeH(me, remoteE)
+		}
+	}
+	return nil
+}
+
+// exchangeBoundary sends the boundary values others need from subbody
+// `me` and receives the values `me` needs, returning them as sparse dense
+// arrays indexed by the owning body. dep[i][j] lists indices of body j's
+// field that body i reads; field(j) returns body j's current field values.
+func exchangeBoundary(comm *mpi.Comm, pr *Problem, me, tag int, dep [][][]int, field func(int) []float64) (map[int][]float64, error) {
+	p := len(pr.Bodies)
+	// Send to every body i that needs our values.
+	var reqs []*mpi.Request
+	for i := 0; i < p; i++ {
+		if i == me || len(dep[i][me]) == 0 {
+			continue
+		}
+		vals := make([]float64, len(dep[i][me]))
+		mine := field(me)
+		for k, idx := range dep[i][me] {
+			vals[k] = mine[idx]
+		}
+		reqs = append(reqs, comm.Isend(i, tag, mpi.Float64Bytes(vals)))
+	}
+	// Receive what we need. The received values are scattered back into
+	// dense arrays the compute phase can index by original node index.
+	remote := make(map[int][]float64)
+	for j := 0; j < p; j++ {
+		if j == me || len(dep[me][j]) == 0 {
+			continue
+		}
+		data, _ := comm.Recv(j, tag)
+		vals := mpi.BytesFloat64(data)
+		if len(vals) != len(dep[me][j]) {
+			return nil, fmt.Errorf("em3d: body %d received %d values from %d, want %d",
+				me, len(vals), j, len(dep[me][j]))
+		}
+		dense := make([]float64, len(field(j)))
+		for k, idx := range dep[me][j] {
+			dense[idx] = vals[k]
+		}
+		remote[j] = dense
+	}
+	mpi.WaitAll(reqs)
+	return remote, nil
+}
+
+// Result reports one parallel run.
+type Result struct {
+	// Time is the simulated execution time of the algorithm proper
+	// (excluding Recon and group management), the quantity Figure 9
+	// plots.
+	Time vclock.Time
+	// Selection is the world ranks running each subbody.
+	Selection []int
+	// Predicted is HMPI_Timeof's prediction for one iteration of the
+	// algorithm on the selected group (HMPI runs only).
+	Predicted float64
+	// Field is the final E field (only when RealMath was set).
+	Field Field
+}
+
+// RunHMPI executes the full HMPI program of Figure 5: Recon with the
+// serial EM3D benchmark, group creation from the Em3d performance model,
+// the parallel algorithm over the group's communicator, and group release.
+func RunHMPI(rt *hmpi.Runtime, pr *Problem, opts RunOptions) (Result, error) {
+	var res Result
+	model := Model()
+	err := rt.Run(func(h *hmpi.Process) error {
+		local := pr.Clone()
+		// HMPI_Recon: the benchmark is the serial EM3D kernel over K
+		// nodes, truly representative of the application.
+		bench := hmpi.BenchmarkFunc{
+			Units: 1,
+			Run: func(p *mpi.Proc) error {
+				p.Compute(local.KernelUnits(local.K))
+				return nil
+			},
+		}
+		if err := h.Recon(bench); err != nil {
+			return err
+		}
+		var g *hmpi.Group
+		var err error
+		if h.IsHost() {
+			// The model describes one iteration; the prediction for
+			// the whole run is iters times it.
+			pred, err := h.Timeof(model, local.ModelArgs()...)
+			if err != nil {
+				return err
+			}
+			res.Predicted = pred * float64(opts.Iters)
+		}
+		if h.IsHost() || h.IsFree() {
+			g, err = h.GroupCreate(model, local.ModelArgs()...)
+			if err != nil {
+				return err
+			}
+		}
+		if !h.IsMember(g) {
+			return nil
+		}
+		comm := g.Comm()
+		start := h.Proc().Now()
+		if err := RunParallel(comm, local, opts); err != nil {
+			return err
+		}
+		comm.Barrier() // measure until the last process finishes
+		elapsed := h.Proc().Now() - start
+		if h.IsHost() {
+			res.Time = elapsed
+			res.Selection = g.WorldRanks()
+			if opts.RealMath {
+				res.Field = gatherField(comm, local)
+			}
+		} else if opts.RealMath {
+			gatherField(comm, local)
+		}
+		return h.GroupFree(g)
+	})
+	return res, err
+}
+
+// RunMPI executes the plain-MPI baseline of Figure 3: the group running
+// the algorithm is the first p processes of the world in rank order,
+// chosen without regard to machine speeds.
+func RunMPI(rt *hmpi.Runtime, pr *Problem, opts RunOptions) (Result, error) {
+	var res Result
+	p := len(pr.Bodies)
+	err := rt.Run(func(h *hmpi.Process) error {
+		local := pr.Clone()
+		world := h.CommWorld()
+		color := 0
+		if h.Rank() >= p {
+			color = mpi.Undefined
+		}
+		comm := world.Split(color, h.Rank())
+		if comm == nil {
+			return nil
+		}
+		start := h.Proc().Now()
+		if err := RunParallel(comm, local, opts); err != nil {
+			return err
+		}
+		comm.Barrier()
+		elapsed := h.Proc().Now() - start
+		if comm.Rank() == 0 {
+			res.Time = elapsed
+			res.Selection = identity(p)
+			if opts.RealMath {
+				res.Field = gatherField(comm, local)
+			}
+		} else if opts.RealMath {
+			gatherField(comm, local)
+		}
+		return nil
+	})
+	return res, err
+}
+
+// gatherField collects the final E field on the communicator's rank 0.
+func gatherField(comm *mpi.Comm, pr *Problem) Field {
+	mine := pr.Bodies[comm.Rank()].E
+	all := comm.Gather(0, mpi.Float64Bytes(mine))
+	if all == nil {
+		return nil
+	}
+	out := make(Field, len(all))
+	for i, b := range all {
+		out[i] = mpi.BytesFloat64(b)
+	}
+	return out
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,444 @@
+package matmul
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hmpi"
+	"repro/internal/mpi"
+	"repro/internal/partition"
+	"repro/internal/vclock"
+)
+
+// Message tags of the algorithm's two communication phases.
+const (
+	tagA = 1
+	tagB = 2
+)
+
+// RunOptions tune a parallel run.
+type RunOptions struct {
+	// CollectC gathers the result matrix on comm rank 0 (RealMath only).
+	CollectC bool
+}
+
+// blockKey addresses one r×r block of a matrix.
+type blockKey struct{ bi, bj int }
+
+// procState is the per-process working storage of the parallel algorithm.
+type procState struct {
+	pr   *Problem
+	dist *Dist
+	me   int // comm rank
+	mi   int // my grid row
+	mj   int // my grid column
+
+	a, b, c map[blockKey][]float64 // owned blocks (RealMath)
+
+	owned   int    // number of owned C blocks
+	zeroBuf []byte // shared payload for charge-only transfers
+	stashA  map[int][]float64
+	stashB  map[int][]float64
+}
+
+// myRows returns my rectangle's block-row residues.
+func (st *procState) myRows() (lo, hi int) {
+	return st.dist.RowStart[st.mi][st.mj], st.dist.RowStart[st.mi][st.mj] + st.dist.H[st.mi][st.mj]
+}
+
+func (st *procState) myCols() (lo, hi int) {
+	return st.dist.ColStart[st.mj], st.dist.ColStart[st.mj] + st.dist.W[st.mj]
+}
+
+// extractBlock copies block (bi,bj) out of a dense row-major matrix.
+func extractBlock(m []float64, n, r, bi, bj int) []float64 {
+	dim := n * r
+	out := make([]float64, r*r)
+	for er := 0; er < r; er++ {
+		copy(out[er*r:(er+1)*r], m[(bi*r+er)*dim+bj*r:(bi*r+er)*dim+bj*r+r])
+	}
+	return out
+}
+
+// mulAdd performs c += a×b on r×r blocks: the rMxM kernel.
+func mulAdd(c, a, b []float64, r int) {
+	for i := 0; i < r; i++ {
+		for k := 0; k < r; k++ {
+			av := a[i*r+k]
+			if av == 0 {
+				continue
+			}
+			ci := c[i*r:]
+			bk := b[k*r:]
+			for j := 0; j < r; j++ {
+				ci[j] += av * bk[j]
+			}
+		}
+	}
+}
+
+// newProcState prepares a process's storage: it extracts the blocks of A
+// and B it owns and zero C accumulators.
+func newProcState(pr *Problem, dist *Dist, rank int) *procState {
+	st := &procState{pr: pr, dist: dist, me: rank}
+	st.mi, st.mj = dist.GridOf(rank)
+	st.owned = dist.OwnedBlocks(st.mi, st.mj)
+	st.zeroBuf = make([]byte, pr.R*pr.R*8)
+	if pr.RealMath {
+		st.a = make(map[blockKey][]float64)
+		st.b = make(map[blockKey][]float64)
+		st.c = make(map[blockKey][]float64)
+		for bi := 0; bi < pr.N; bi++ {
+			for bj := 0; bj < pr.N; bj++ {
+				oi, oj := dist.GlobalOwner(bi, bj)
+				if oi == st.mi && oj == st.mj {
+					k := blockKey{bi, bj}
+					st.a[k] = extractBlock(pr.A, pr.N, pr.R, bi, bj)
+					st.b[k] = extractBlock(pr.B, pr.N, pr.R, bi, bj)
+					st.c[k] = make([]float64, pr.R*pr.R)
+				}
+			}
+		}
+	}
+	return st
+}
+
+// payload serialises a block for transfer (or reuses the charge-only
+// buffer).
+func (st *procState) payload(blk []float64) []byte {
+	if !st.pr.RealMath {
+		return st.zeroBuf
+	}
+	return mpi.Float64Bytes(blk)
+}
+
+// RunParallel executes the block-cyclic multiplication on the given
+// communicator, whose size must be M². Communicator rank i*M+j acts as
+// grid processor (i,j); the distribution decides who owns and sends what.
+// The identical code serves the homogeneous baseline and the HMPI version.
+// With RealMath and CollectC it returns the assembled C on comm rank 0.
+func RunParallel(comm *mpi.Comm, pr *Problem, dist *Dist, opts RunOptions) ([]float64, error) {
+	if comm.Size() != pr.M*pr.M {
+		return nil, fmt.Errorf("matmul: %d processes for a %dx%d grid", comm.Size(), pr.M, pr.M)
+	}
+	if dist.N != pr.N || dist.R != pr.R {
+		return nil, fmt.Errorf("matmul: distribution built for n=%d r=%d, problem has n=%d r=%d",
+			dist.N, dist.R, pr.N, pr.R)
+	}
+	st := newProcState(pr, dist, comm.Rank())
+	n, l := pr.N, dist.L()
+	unitsPerStep := pr.KernelUnits(float64(st.owned))
+
+	for k := 0; k < n; k++ {
+		krho := k % l
+		// ---- Pivot column of A moves horizontally. ----
+		jStar := dist.ColOwner(krho)
+		st.stashA = map[int][]float64{}
+		if st.mj == jStar {
+			// I own the pivot blocks for my row residues; send each
+			// to the row-overlapping processor of every other column.
+			rlo, rhi := st.myRows()
+			for rho := rlo; rho < rhi; rho++ {
+				for bi := rho; bi < n; bi += l {
+					var blk []float64
+					if pr.RealMath {
+						blk = st.a[blockKey{bi, k}]
+					}
+					for j := 0; j < pr.M; j++ {
+						if j == jStar {
+							continue
+						}
+						dst := dist.RankOf(dist.RowOwnerInColumn(rho, j), j)
+						comm.IsendOwned(dst, tagA, st.payload(blk))
+					}
+					if pr.RealMath {
+						st.stashA[bi] = blk
+					}
+				}
+			}
+		} else {
+			// Receive the pivot blocks covering my row residues from
+			// the owners in column jStar, in the sender's emission
+			// order.
+			rlo, rhi := st.myRows()
+			for rho := rlo; rho < rhi; rho++ {
+				src := dist.RankOf(dist.RowOwnerInColumn(rho, jStar), jStar)
+				for bi := rho; bi < n; bi += l {
+					data, _ := comm.Recv(src, tagA)
+					if pr.RealMath {
+						st.stashA[bi] = mpi.BytesFloat64(data)
+					}
+				}
+			}
+		}
+
+		// ---- Pivot row of B moves vertically within columns. ----
+		iStar := dist.RowOwnerInColumn(krho, st.mj)
+		st.stashB = map[int][]float64{}
+		clo, chi := st.myCols()
+		if st.mi == iStar {
+			for sigma := clo; sigma < chi; sigma++ {
+				for bj := sigma; bj < n; bj += l {
+					var blk []float64
+					if pr.RealMath {
+						blk = st.b[blockKey{k, bj}]
+					}
+					for i := 0; i < pr.M; i++ {
+						if i == iStar {
+							continue
+						}
+						comm.IsendOwned(dist.RankOf(i, st.mj), tagB, st.payload(blk))
+					}
+					if pr.RealMath {
+						st.stashB[bj] = blk
+					}
+				}
+			}
+		} else {
+			src := dist.RankOf(iStar, st.mj)
+			for sigma := clo; sigma < chi; sigma++ {
+				for bj := sigma; bj < n; bj += l {
+					data, _ := comm.Recv(src, tagB)
+					if pr.RealMath {
+						st.stashB[bj] = mpi.BytesFloat64(data)
+					}
+				}
+			}
+		}
+
+		// ---- Update: every owned C block gains a[bi][k]*b[k][bj]. ----
+		comm.Proc().Compute(unitsPerStep)
+		if pr.RealMath {
+			for key, cblk := range st.c {
+				ablk, ok := st.stashA[key.bi]
+				if !ok {
+					return nil, fmt.Errorf("matmul: step %d: process %d missing A block row %d", k, st.me, key.bi)
+				}
+				bblk, ok := st.stashB[key.bj]
+				if !ok {
+					return nil, fmt.Errorf("matmul: step %d: process %d missing B block col %d", k, st.me, key.bj)
+				}
+				mulAdd(cblk, ablk, bblk, pr.R)
+			}
+		}
+	}
+
+	if pr.RealMath && opts.CollectC {
+		return collectC(comm, pr, dist, st)
+	}
+	return nil, nil
+}
+
+// collectC gathers the distributed C on comm rank 0 and assembles the
+// dense matrix.
+func collectC(comm *mpi.Comm, pr *Problem, dist *Dist, st *procState) ([]float64, error) {
+	// Serialise owned blocks in deterministic (bi,bj) order.
+	var mine []float64
+	for bi := 0; bi < pr.N; bi++ {
+		for bj := 0; bj < pr.N; bj++ {
+			if blk, ok := st.c[blockKey{bi, bj}]; ok {
+				mine = append(mine, float64(bi), float64(bj))
+				mine = append(mine, blk...)
+			}
+		}
+	}
+	parts := comm.Gather(0, mpi.Float64Bytes(mine))
+	if parts == nil {
+		return nil, nil
+	}
+	dim := pr.N * pr.R
+	out := make([]float64, dim*dim)
+	stride := 2 + pr.R*pr.R
+	for _, part := range parts {
+		vals := mpi.BytesFloat64(part)
+		if len(vals)%stride != 0 {
+			return nil, fmt.Errorf("matmul: malformed C fragment of %d values", len(vals))
+		}
+		for off := 0; off < len(vals); off += stride {
+			bi, bj := int(vals[off]), int(vals[off+1])
+			blk := vals[off+2 : off+stride]
+			for er := 0; er < pr.R; er++ {
+				copy(out[(bi*pr.R+er)*dim+bj*pr.R:(bi*pr.R+er)*dim+bj*pr.R+pr.R], blk[er*pr.R:(er+1)*pr.R])
+			}
+		}
+	}
+	return out, nil
+}
+
+// Result reports one run.
+type Result struct {
+	// Time is the simulated execution time of the multiplication proper.
+	Time vclock.Time
+	// Selection is the world ranks at each grid position (row-major).
+	Selection []int
+	// L is the generalised block size used.
+	L int
+	// Predicted is HMPI_Timeof's prediction for the chosen configuration
+	// (HMPI runs only).
+	Predicted float64
+	// C is the gathered result (RealMath with CollectC only).
+	C []float64
+}
+
+// RunHMPI executes the full HMPI program of Figure 8: Recon with the rMxM
+// benchmark, HMPI_Timeof search for the optimal generalised block size
+// over the candidate list (nil means the single size cfgL), group creation
+// from the ParallelAxB model, and the multiplication over the group's
+// communicator.
+func RunHMPI(rt *hmpi.Runtime, pr *Problem, lCandidates []int, opts RunOptions) (Result, error) {
+	var res Result
+	model := Model()
+	err := rt.Run(func(h *hmpi.Process) error {
+		// HMPI_Recon with the rMxM kernel (one r×r block update).
+		bench := hmpi.BenchmarkFunc{
+			Units: 1,
+			Run: func(p *mpi.Proc) error {
+				p.Compute(pr.KernelUnits(1))
+				return nil
+			},
+		}
+		if err := h.Recon(bench); err != nil {
+			return err
+		}
+
+		var g *hmpi.Group
+		var hostDist *Dist
+		if h.IsHost() {
+			// Arrange the measured speeds into the grid and find the
+			// optimal generalised block size with HMPI_Timeof
+			// (Figure 8's block-size loop).
+			grid, _, err := ArrangeGrid(h.Speeds(), hmpi.HostRank, pr.M)
+			if err != nil {
+				return err
+			}
+			bestTime := math.Inf(1)
+			for _, l := range lCandidates {
+				d, err := NewHetero(grid, l, pr.N, pr.R)
+				if err != nil {
+					return err
+				}
+				t, err := h.Timeof(model, d.ModelArgs()...)
+				if err != nil {
+					return err
+				}
+				if t < bestTime {
+					bestTime = t
+					hostDist = d
+				}
+			}
+			if hostDist == nil {
+				return fmt.Errorf("matmul: no feasible generalised block size in %v", lCandidates)
+			}
+			res.Predicted = bestTime
+			res.L = hostDist.L()
+			g, err = h.GroupCreate(model, hostDist.ModelArgs()...)
+			if err != nil {
+				return err
+			}
+		} else if h.IsFree() {
+			var err error
+			g, err = h.GroupCreate(nil)
+			if err != nil {
+				return err
+			}
+		}
+		if !h.IsMember(g) {
+			return nil
+		}
+		comm := g.Comm()
+		// The host broadcasts the chosen distribution (l, w, flattened
+		// row starts) so every member reconstructs it identically.
+		dist := bcastDist(comm, hostDist, pr)
+		start := h.Proc().Now()
+		c, err := RunParallel(comm, pr, dist, opts)
+		if err != nil {
+			return err
+		}
+		comm.Barrier()
+		elapsed := h.Proc().Now() - start
+		if h.IsHost() {
+			res.Time = elapsed
+			res.Selection = g.WorldRanks()
+			res.C = c
+		}
+		return h.GroupFree(g)
+	})
+	return res, err
+}
+
+// bcastDist shares the host's distribution with all group members.
+func bcastDist(comm *mpi.Comm, d *Dist, pr *Problem) *Dist {
+	var payload []byte
+	if comm.Rank() == 0 {
+		vals := []int64{int64(d.L())}
+		for _, w := range d.W {
+			vals = append(vals, int64(w))
+		}
+		for i := 0; i < d.M; i++ {
+			for j := 0; j < d.M; j++ {
+				vals = append(vals, int64(d.H[i][j]))
+			}
+		}
+		payload = mpi.Int64Bytes(vals)
+	}
+	payload = comm.Bcast(0, payload)
+	if comm.Rank() == 0 {
+		return d
+	}
+	vals := mpi.BytesInt64(payload)
+	m := pr.M
+	l := int(vals[0])
+	w := make([]int, m)
+	for j := 0; j < m; j++ {
+		w[j] = int(vals[1+j])
+	}
+	hs := make([][]int, m)
+	for i := 0; i < m; i++ {
+		hs[i] = make([]int, m)
+		for j := 0; j < m; j++ {
+			hs[i][j] = int(vals[1+m+i*m+j])
+		}
+	}
+	b, err := partition.FromParts(l, w, hs)
+	if err != nil {
+		panic(fmt.Sprintf("matmul: broadcast distribution invalid: %v", err))
+	}
+	return &Dist{Block2D: b, N: pr.N, R: pr.R}
+}
+
+// RunMPI executes the plain-MPI baseline: the homogeneous 2-D block-cyclic
+// distribution on the first M² processes of the world in rank order.
+func RunMPI(rt *hmpi.Runtime, pr *Problem, opts RunOptions) (Result, error) {
+	var res Result
+	p := pr.M * pr.M
+	dist := NewHomogeneous(pr.M, pr.N, pr.R)
+	err := rt.Run(func(h *hmpi.Process) error {
+		world := h.CommWorld()
+		color := 0
+		if h.Rank() >= p {
+			color = mpi.Undefined
+		}
+		comm := world.Split(color, h.Rank())
+		if comm == nil {
+			return nil
+		}
+		start := h.Proc().Now()
+		c, err := RunParallel(comm, pr, dist, opts)
+		if err != nil {
+			return err
+		}
+		comm.Barrier()
+		elapsed := h.Proc().Now() - start
+		if comm.Rank() == 0 {
+			res.Time = elapsed
+			res.L = dist.L()
+			res.Selection = make([]int, p)
+			for i := range res.Selection {
+				res.Selection[i] = i
+			}
+			res.C = c
+		}
+		return nil
+	})
+	return res, err
+}

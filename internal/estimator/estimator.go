@@ -1,0 +1,144 @@
+// Package estimator implements the prediction core of HMPI_Timeof and
+// HMPI_Group_create: given an instantiated performance model, the model of
+// the executing network (link specifications plus the processor speeds most
+// recently estimated by HMPI_Recon), and a candidate assignment of the
+// model's abstract processors to actual processes, it predicts the
+// execution time of the algorithm by replaying the scheme's task graph
+// against the candidate's resources.
+package estimator
+
+import (
+	"fmt"
+
+	"repro/internal/hnoc"
+	"repro/internal/pmdl"
+	"repro/internal/sched"
+)
+
+// Estimator predicts execution times for one model instance on one
+// network. The scheme's task graph is built once; every candidate
+// evaluation only replays it, so a group-selection search can score many
+// candidates cheaply.
+type Estimator struct {
+	inst      *pmdl.Instance
+	dag       *sched.DAG
+	cluster   *hnoc.Cluster
+	speeds    []float64 // estimated speed per world process
+	placement []int     // world rank -> machine index
+}
+
+// New prepares an estimator. speeds[r] is the estimated speed of world
+// process r in benchmark units per second (from HMPI_Recon); placement[r]
+// is the machine process r runs on.
+func New(inst *pmdl.Instance, cluster *hnoc.Cluster, speeds []float64, placement []int) (*Estimator, error) {
+	if len(speeds) != len(placement) {
+		return nil, fmt.Errorf("estimator: %d speeds for %d processes", len(speeds), len(placement))
+	}
+	for r, m := range placement {
+		if m < 0 || m >= cluster.Size() {
+			return nil, fmt.Errorf("estimator: process %d placed on machine %d out of range", r, m)
+		}
+		if speeds[r] <= 0 {
+			return nil, fmt.Errorf("estimator: process %d has non-positive speed %v", r, speeds[r])
+		}
+	}
+	dag, err := inst.BuildDAG()
+	if err != nil {
+		return nil, err
+	}
+	return &Estimator{
+		inst:      inst,
+		dag:       dag,
+		cluster:   cluster,
+		speeds:    append([]float64(nil), speeds...),
+		placement: append([]int(nil), placement...),
+	}, nil
+}
+
+// Instance returns the model instance being estimated.
+func (e *Estimator) Instance() *pmdl.Instance { return e.inst }
+
+// DAGSize returns the number of tasks in the scheme's task graph.
+func (e *Estimator) DAGSize() int { return e.dag.Size() }
+
+// Timeof predicts the execution time (seconds) of the algorithm when
+// abstract processor i runs as world process candidate[i]. Processes
+// sharing a machine share its speed evenly. It panics on malformed
+// candidates (the mapper only generates well-formed ones); use Validate
+// for untrusted input.
+func (e *Estimator) Timeof(candidate []int) float64 {
+	return e.TimeofWith(candidate, true)
+}
+
+// TimeofWith is Timeof with the sender-interface serialisation toggleable:
+// serialiseNIC=false models an idealised network where one sender's
+// transfers all proceed in parallel. Used by the ablation study of the
+// network model.
+func (e *Estimator) TimeofWith(candidate []int, serialiseNIC bool) float64 {
+	if len(candidate) != e.inst.NumProcs {
+		panic(fmt.Sprintf("estimator: candidate has %d entries, want %d", len(candidate), e.inst.NumProcs))
+	}
+	// Count processes per machine for speed sharing.
+	share := make(map[int]int, len(candidate))
+	for _, r := range candidate {
+		share[e.placement[r]]++
+	}
+	res := sched.Resources{
+		Speed: func(p int) float64 {
+			r := candidate[p]
+			return e.speeds[r] / float64(share[e.placement[r]])
+		},
+		Link: func(src, dst int) sched.Link {
+			ls := e.cluster.Link(e.placement[candidate[src]], e.placement[candidate[dst]])
+			return sched.Link{Latency: ls.Latency, Bandwidth: ls.Bandwidth, Overhead: ls.Overhead}
+		},
+		SerialiseNIC: serialiseNIC,
+	}
+	return sched.Makespan(e.dag, e.inst.NumProcs, res)
+}
+
+// Validate checks that a candidate names distinct, in-range processes.
+func (e *Estimator) Validate(candidate []int) error {
+	if len(candidate) != e.inst.NumProcs {
+		return fmt.Errorf("estimator: candidate has %d entries, want %d", len(candidate), e.inst.NumProcs)
+	}
+	seen := make(map[int]bool, len(candidate))
+	for _, r := range candidate {
+		if r < 0 || r >= len(e.speeds) {
+			return fmt.Errorf("estimator: process rank %d out of range", r)
+		}
+		if seen[r] {
+			return fmt.Errorf("estimator: process rank %d assigned twice", r)
+		}
+		seen[r] = true
+	}
+	return nil
+}
+
+// NaiveTimeof is the ablation baseline for the DAG-based estimator: it
+// ignores the scheme and simply takes the maximum over processors of
+// computation time plus total incoming and outgoing communication time,
+// with no overlap and no serialisation.
+func (e *Estimator) NaiveTimeof(candidate []int) float64 {
+	share := make(map[int]int, len(candidate))
+	for _, r := range candidate {
+		share[e.placement[r]]++
+	}
+	worst := 0.0
+	for p := 0; p < e.inst.NumProcs; p++ {
+		r := candidate[p]
+		speed := e.speeds[r] / float64(share[e.placement[r]])
+		t := e.inst.CompVolume[p] / speed
+		for q := 0; q < e.inst.NumProcs; q++ {
+			if q == p {
+				continue
+			}
+			out := e.cluster.Link(e.placement[r], e.placement[candidate[q]])
+			t += e.inst.CommVolume[p][q]/out.Bandwidth + e.inst.CommVolume[q][p]/out.Bandwidth
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}

@@ -1,0 +1,178 @@
+// Package hmpi is the core of this repository: an implementation of HMPI
+// (Heterogeneous MPI), the extension of MPI proposed by Lastovetsky and
+// Reddy for programming high-performance computations on heterogeneous
+// networks of computers.
+//
+// HMPI adds a small set of operations to MPI:
+//
+//	HMPI_Init / HMPI_Finalize      -> Runtime.Run (process lifecycle)
+//	HMPI_COMM_WORLD                -> Process.CommWorld
+//	HMPI_Recon                     -> Process.Recon
+//	HMPI_Timeof                    -> Process.Timeof
+//	HMPI_Group_create              -> Process.GroupCreate
+//	HMPI_Group_free                -> Process.GroupFree
+//	HMPI_Get_comm                  -> Group.Comm
+//	HMPI_Group_rank / _size        -> Group.Rank / Group.Size
+//	HMPI_Is_host/_free/_member     -> Process.IsHost / IsFree / IsMember
+//
+// The application programmer describes the performance model of the
+// implemented algorithm in the model definition language (package pmdl).
+// Given the model, HMPI_Group_create selects — from the processes of the
+// heterogeneous network — the group that executes the algorithm faster
+// than any other group, accounting for processor speeds (kept current by
+// HMPI_Recon), link latencies and bandwidths, and the structure of the
+// algorithm's computations and communications.
+package hmpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/hnoc"
+	"repro/internal/mapper"
+	"repro/internal/mpi"
+	"repro/internal/vclock"
+)
+
+// HostRank is the world rank of the host process (the designated parent of
+// first-level groups), by convention process 0 — the process the user's
+// terminal is attached to in the paper's runtime.
+const HostRank = 0
+
+// Runtime message tags. The range below -200 is reserved for the HMPI
+// runtime (communicator-internal collectives use -100..-199). Group
+// creation is a two-phase collective: the parent distributes the selection
+// (tagGroupCreate), every recipient acknowledges (tagGroupAck), and the
+// parent commits (tagGroupCommit) once all acknowledgements are in — so a
+// creation only completes after every participant has consumed it, and a
+// member of one group can immediately parent a child group without its
+// messages overtaking the previous creation's.
+const (
+	tagGroupCreate = -201
+	tagGroupAck    = -202
+	tagGroupCommit = -203
+)
+
+// Config describes an HMPI run.
+type Config struct {
+	// Cluster is the heterogeneous network of computers to run on.
+	Cluster *hnoc.Cluster
+	// Placement maps world ranks to machine indexes. Nil means one
+	// process per machine, the configuration the paper assumes.
+	Placement []int
+	// Select tunes the group-selection search (default: auto strategy —
+	// exhaustive for small problems, greedy plus local search beyond).
+	Select mapper.Options
+}
+
+// Runtime is an initialised HMPI runtime system: the analogue of the state
+// HMPI_Init sets up across the processes of the parallel program.
+type Runtime struct {
+	cfg       Config
+	world     *mpi.World
+	placement []int
+
+	// free tracks which world ranks are not members of any HMPI group.
+	// It is the runtime's global process registry; entries change only
+	// inside the collective GroupCreate/GroupFree operations.
+	freeMu sync.Mutex
+	free   []bool
+
+	keyMu   sync.Mutex
+	nextKey int64
+}
+
+// New validates the configuration and creates the runtime.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Cluster == nil {
+		return nil, fmt.Errorf("hmpi: nil cluster")
+	}
+	if err := cfg.Cluster.Validate(); err != nil {
+		return nil, err
+	}
+	placement := cfg.Placement
+	if placement == nil {
+		placement = mpi.OneProcessPerMachine(cfg.Cluster)
+	}
+	rt := &Runtime{
+		cfg:       cfg,
+		world:     mpi.NewWorld(cfg.Cluster, placement),
+		placement: append([]int(nil), placement...),
+		free:      make([]bool, len(placement)),
+	}
+	for i := range rt.free {
+		rt.free[i] = i != HostRank // the host is never "free": it is the parent
+	}
+	return rt, nil
+}
+
+// World exposes the underlying message-passing world.
+func (rt *Runtime) World() *mpi.World { return rt.world }
+
+// EnableTracing records per-process activity intervals for the run; call
+// before Run. See mpi.Trace.
+func (rt *Runtime) EnableTracing() *mpi.Trace { return rt.world.EnableTracing() }
+
+// Makespan returns the simulated execution time after Run completes.
+func (rt *Runtime) Makespan() vclock.Time { return rt.world.Makespan() }
+
+// InjectFailure marks a process as failed (fault-tolerance extension):
+// pending and future communication with it errors instead of hanging, and
+// group selection stops considering it.
+func (rt *Runtime) InjectFailure(rank int) {
+	rt.freeMu.Lock()
+	rt.free[rank] = false
+	rt.freeMu.Unlock()
+	rt.world.Fail(rank)
+}
+
+// Run executes main as the body of every HMPI process, the SPMD region
+// between HMPI_Init and HMPI_Finalize. It returns the first process error.
+func (rt *Runtime) Run(main func(h *Process) error) error {
+	return rt.world.Run(func(p *mpi.Proc) error {
+		h := &Process{rt: rt, proc: p}
+		// Initial speed estimates: the nominal speeds of the machines
+		// each process runs on (what the runtime knows before the
+		// first HMPI_Recon).
+		h.speeds = make([]float64, rt.world.Size())
+		for r := range h.speeds {
+			h.speeds[r] = rt.cfg.Cluster.Machines[rt.placement[r]].Speed
+		}
+		return main(h)
+	})
+}
+
+// allocGroupKey hands the host a fresh key for communicator derivation.
+func (rt *Runtime) allocGroupKey() int64 {
+	rt.keyMu.Lock()
+	defer rt.keyMu.Unlock()
+	rt.nextKey++
+	return rt.nextKey
+}
+
+// freeRanks snapshots the currently free, non-failed ranks.
+func (rt *Runtime) freeRanks() []int {
+	rt.freeMu.Lock()
+	defer rt.freeMu.Unlock()
+	var out []int
+	for r, f := range rt.free {
+		if f && !rt.world.IsFailed(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// setFree updates a rank's free status.
+func (rt *Runtime) setFree(rank int, free bool) {
+	rt.freeMu.Lock()
+	rt.free[rank] = free
+	rt.freeMu.Unlock()
+}
+
+// isFree reports a rank's free status.
+func (rt *Runtime) isFree(rank int) bool {
+	rt.freeMu.Lock()
+	defer rt.freeMu.Unlock()
+	return rt.free[rank]
+}

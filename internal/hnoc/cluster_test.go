@@ -1,0 +1,316 @@
+package hnoc
+
+import (
+	"math"
+	"os"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaper9Shape(t *testing.T) {
+	c := Paper9()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 9 {
+		t.Fatalf("Paper9 has %d machines, want 9", c.Size())
+	}
+	want := []float64{46, 46, 46, 46, 46, 46, 176, 106, 9}
+	for i, m := range c.Machines {
+		if m.Speed != want[i] {
+			t.Errorf("machine %d speed = %v, want %v", i, m.Speed, want[i])
+		}
+	}
+	// Remote link is 100 Mbit-class Ethernet.
+	if c.Remote.Protocol != ProtoTCP {
+		t.Errorf("remote protocol = %q, want tcp", c.Remote.Protocol)
+	}
+	if c.Remote.Bandwidth < 10e6 || c.Remote.Bandwidth > 12.5e6 {
+		t.Errorf("remote bandwidth %v outside 100Mbit range", c.Remote.Bandwidth)
+	}
+}
+
+func TestLinkSelection(t *testing.T) {
+	c := Paper9()
+	if got := c.Link(0, 0).Protocol; got != ProtoSHM {
+		t.Errorf("same-machine link protocol = %q, want shm", got)
+	}
+	if got := c.Link(0, 1).Protocol; got != ProtoTCP {
+		t.Errorf("cross-machine link protocol = %q, want tcp", got)
+	}
+	c.Overrides = append(c.Overrides, LinkOverride{
+		A: 1, B: 2,
+		Link: LinkSpec{Protocol: ProtoUDP, Latency: 1e-6, Bandwidth: 1e9},
+	})
+	if got := c.Link(1, 2).Protocol; got != ProtoUDP {
+		t.Errorf("overridden link protocol = %q, want udp", got)
+	}
+	if got := c.Link(2, 1).Protocol; got != ProtoUDP {
+		t.Errorf("override is not symmetric: (2,1) protocol = %q", got)
+	}
+	if got := c.Link(1, 3).Protocol; got != ProtoTCP {
+		t.Errorf("non-overridden pair affected: (1,3) protocol = %q", got)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	l := LinkSpec{Bandwidth: 1e6}
+	if got := l.TransferTime(2e6); got != 2 {
+		t.Fatalf("TransferTime(2MB @ 1MB/s) = %v, want 2", got)
+	}
+	if got := l.TransferTime(0); got != 0 {
+		t.Fatalf("TransferTime(0) = %v, want 0", got)
+	}
+	if got := l.TransferTime(-5); got != 0 {
+		t.Fatalf("TransferTime(-5) = %v, want 0", got)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Cluster)
+	}{
+		{"no machines", func(c *Cluster) { c.Machines = nil }},
+		{"empty name", func(c *Cluster) { c.Machines[0].Name = "" }},
+		{"duplicate name", func(c *Cluster) { c.Machines[1].Name = c.Machines[0].Name }},
+		{"zero speed", func(c *Cluster) { c.Machines[0].Speed = 0 }},
+		{"negative speed", func(c *Cluster) { c.Machines[0].Speed = -3 }},
+		{"zero bandwidth", func(c *Cluster) { c.Remote.Bandwidth = 0 }},
+		{"negative latency", func(c *Cluster) { c.Local.Latency = -1 }},
+		{"override out of range", func(c *Cluster) {
+			c.Overrides = append(c.Overrides, LinkOverride{A: 0, B: 99, Link: Ethernet100()})
+		}},
+		{"override zero bandwidth", func(c *Cluster) {
+			c.Overrides = append(c.Overrides, LinkOverride{A: 0, B: 1})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := Paper9()
+			tc.mut(c)
+			if err := c.Validate(); err == nil {
+				t.Fatalf("Validate accepted invalid cluster (%s)", tc.name)
+			}
+		})
+	}
+}
+
+func TestEffectiveSpeedUnderLoad(t *testing.T) {
+	m := Machine{Name: "x", Speed: 100, Load: ConstantLoad{Fraction: 0.5}}
+	if got := m.EffectiveSpeed(42); got != 50 {
+		t.Fatalf("EffectiveSpeed = %v, want 50", got)
+	}
+	idle := Machine{Name: "y", Speed: 100}
+	if got := idle.EffectiveSpeed(0); got != 100 {
+		t.Fatalf("idle EffectiveSpeed = %v, want 100", got)
+	}
+}
+
+func TestComputeFinishIdle(t *testing.T) {
+	m := Machine{Name: "x", Speed: 50}
+	if got := m.ComputeFinish(10, 100); got != 12 {
+		t.Fatalf("ComputeFinish = %v, want 12", got)
+	}
+	if got := m.ComputeFinish(10, 0); got != 10 {
+		t.Fatalf("ComputeFinish(0 work) = %v, want 10", got)
+	}
+}
+
+func TestComputeFinishStepLoad(t *testing.T) {
+	// Full speed until t=10, half speed afterwards.
+	m := Machine{
+		Name:  "x",
+		Speed: 1,
+		Load:  NewStepLoad(Step{Start: 10, Fraction: 0.5}),
+	}
+	// 5 units starting at 0 finish at 5, entirely before the step.
+	if got := m.ComputeFinish(0, 5); got != 5 {
+		t.Fatalf("pre-step ComputeFinish = %v, want 5", got)
+	}
+	// 15 units starting at 0: 10 done by t=10, then 5 more at half speed.
+	if got := m.ComputeFinish(0, 15); got != 20 {
+		t.Fatalf("straddling ComputeFinish = %v, want 20", got)
+	}
+	// Starting inside the loaded region.
+	if got := m.ComputeFinish(10, 5); got != 20 {
+		t.Fatalf("in-step ComputeFinish = %v, want 20", got)
+	}
+}
+
+func TestStepLoadAvailable(t *testing.T) {
+	l := NewStepLoad(Step{Start: 5, Fraction: 0.25}, Step{Start: 2, Fraction: 0.5})
+	for _, tc := range []struct{ t, want float64 }{
+		{0, 1}, {1.99, 1}, {2, 0.5}, {4.5, 0.5}, {5, 0.25}, {100, 0.25},
+	} {
+		if got := l.Available(tc.t); got != tc.want {
+			t.Errorf("Available(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestSineLoadBounds(t *testing.T) {
+	l := SineLoad{Base: 0.6, Amplitude: 0.5, Period: 10}
+	for x := 0.0; x < 30; x += 0.3 {
+		v := l.Available(x)
+		if v <= 0 || v > 1 {
+			t.Fatalf("SineLoad Available(%v) = %v outside (0,1]", x, v)
+		}
+	}
+}
+
+// Property: FinishTime is consistent with Available — work accomplished over
+// [t, FinishTime(t,w)] approximately equals w — and monotone in work.
+func TestFinishTimeProperties(t *testing.T) {
+	profiles := []LoadProfile{
+		ConstantLoad{Fraction: 0.7},
+		NewStepLoad(Step{Start: 3, Fraction: 0.2}, Step{Start: 8, Fraction: 0.9}),
+		SineLoad{Base: 0.6, Amplitude: 0.3, Period: 7},
+	}
+	f := func(t0u, wu uint16) bool {
+		t0 := float64(t0u) / 100
+		w := float64(wu)/100 + 0.01
+		for _, p := range profiles {
+			end := p.FinishTime(t0, w)
+			if end <= t0 {
+				return false
+			}
+			// Work done must be close to requested (numeric profiles get
+			// a looser tolerance).
+			done := integrateAvailable(p, t0, end)
+			if math.Abs(done-w) > 0.02*w+0.02 {
+				return false
+			}
+			// Monotonicity in work.
+			if p.FinishTime(t0, w*2) < end {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func integrateAvailable(p LoadProfile, a, b float64) float64 {
+	const n = 4000
+	h := (b - a) / n
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += p.Available(a+(float64(i)+0.5)*h) * h
+	}
+	return sum
+}
+
+func TestClusterJSONRoundTrip(t *testing.T) {
+	c := Paper9()
+	c.Machines[2].Load = ConstantLoad{Fraction: 0.5}
+	c.Machines[3].Load = NewStepLoad(Step{Start: 1, Fraction: 0.25})
+	c.Machines[4].Load = SineLoad{Base: 0.5, Amplitude: 0.25, Period: 4}
+	c.Overrides = []LinkOverride{{A: 0, B: 1, Link: LinkSpec{Protocol: ProtoUDP, Latency: 1e-5, Bandwidth: 5e6}}}
+
+	path := t.TempDir() + "/cluster.json"
+	if err := c.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != c.Size() {
+		t.Fatalf("round trip changed size: %d != %d", got.Size(), c.Size())
+	}
+	for i := range c.Machines {
+		if got.Machines[i].Name != c.Machines[i].Name || got.Machines[i].Speed != c.Machines[i].Speed {
+			t.Errorf("machine %d changed: %+v != %+v", i, got.Machines[i], c.Machines[i])
+		}
+	}
+	// Load profiles behave identically.
+	for i := range c.Machines {
+		for _, x := range []float64{0, 0.5, 1, 2, 3, 10} {
+			ma := Machine{Speed: 1, Load: c.Machines[i].Load}
+			mb := Machine{Speed: 1, Load: got.Machines[i].Load}
+			a := ma.EffectiveSpeed(x)
+			b := mb.EffectiveSpeed(x)
+			if math.Abs(a-b) > 1e-12 {
+				t.Fatalf("machine %d load differs after round trip at t=%v: %v != %v", i, x, a, b)
+			}
+		}
+	}
+	if got.Link(0, 1).Protocol != ProtoUDP {
+		t.Error("override lost in round trip")
+	}
+}
+
+func TestLoadFileErrors(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/cluster.json"); err == nil {
+		t.Error("LoadFile of missing file succeeded")
+	}
+	path := t.TempDir() + "/bad.json"
+	if err := writeFile(path, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Error("LoadFile of malformed file succeeded")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := Paper9()
+	d := c.Clone()
+	d.Machines[0].Speed = 999
+	d.Remote.Bandwidth = 1
+	if c.Machines[0].Speed == 999 || c.Remote.Bandwidth == 1 {
+		t.Fatal("Clone shares mutable state with original")
+	}
+}
+
+func TestHomogeneousCluster(t *testing.T) {
+	c := Homogeneous(5, 100)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 5 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	for _, m := range c.Machines {
+		if m.Speed != 100 {
+			t.Fatalf("speed = %v, want 100", m.Speed)
+		}
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestTwoTierTopology(t *testing.T) {
+	intra := LinkSpec{Protocol: ProtoTCP, Latency: 1e-4, Bandwidth: 100e6}
+	inter := LinkSpec{Protocol: ProtoTCP, Latency: 1e-3, Bandwidth: 10e6}
+	c := TwoTier(3, 50, intra, inter)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 6 {
+		t.Fatalf("size = %d", c.Size())
+	}
+	// Intra-rack pairs use the fast link.
+	if got := c.Link(0, 2).Bandwidth; got != 100e6 {
+		t.Errorf("intra-rack bandwidth %v", got)
+	}
+	if got := c.Link(3, 5).Bandwidth; got != 100e6 {
+		t.Errorf("intra-rack bandwidth (rack 1) %v", got)
+	}
+	// Cross-rack pairs use the uplink, both directions.
+	if got := c.Link(1, 4).Bandwidth; got != 10e6 {
+		t.Errorf("cross-rack bandwidth %v", got)
+	}
+	if got := c.Link(4, 1).Bandwidth; got != 10e6 {
+		t.Errorf("cross-rack reverse bandwidth %v", got)
+	}
+	// Same machine uses shared memory.
+	if got := c.Link(2, 2).Protocol; got != ProtoSHM {
+		t.Errorf("same-machine protocol %q", got)
+	}
+}

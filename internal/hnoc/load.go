@@ -1,0 +1,173 @@
+// Package hnoc models a heterogeneous network of computers (HNOC): a set of
+// machines with different nominal speeds and time-varying external load,
+// connected by communication links with per-pair latency, bandwidth and
+// protocol. It is the executing-network model the HMPI runtime consults
+// when selecting process groups, and the ground truth the virtual-time
+// executor charges computation and communication against.
+package hnoc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LoadProfile describes the fraction of a machine's nominal speed that is
+// available to the parallel application as a function of virtual time. A
+// value of 1 means the machine is otherwise idle; 0.5 means external users
+// consume half of it. Implementations must be deterministic.
+type LoadProfile interface {
+	// Available returns the available speed fraction at time t, in (0, 1].
+	Available(t float64) float64
+	// FinishTime returns the earliest time at which `work` units of
+	// normalised work (units of nominal-speed-seconds) complete when
+	// started at time t. It must satisfy FinishTime(t, 0) == t and be
+	// monotone in both arguments.
+	FinishTime(t, work float64) float64
+}
+
+// ConstantLoad is a load profile with a fixed available fraction.
+type ConstantLoad struct {
+	Fraction float64 // available fraction of nominal speed, in (0, 1]
+}
+
+// Available implements LoadProfile.
+func (c ConstantLoad) Available(t float64) float64 { return c.Fraction }
+
+// FinishTime implements LoadProfile.
+func (c ConstantLoad) FinishTime(t, work float64) float64 {
+	if work <= 0 {
+		return t
+	}
+	return t + work/c.Fraction
+}
+
+// Idle returns the profile of a machine with no external load.
+func Idle() LoadProfile { return ConstantLoad{Fraction: 1} }
+
+// Step is one segment of a StepLoad profile.
+type Step struct {
+	Start    float64 // segment begins at this time
+	Fraction float64 // available fraction during the segment, in (0, 1]
+}
+
+// StepLoad is a piecewise-constant load profile. Before the first step the
+// machine is idle (fraction 1); each step's fraction holds until the next
+// step's start time; the last step holds forever.
+type StepLoad struct {
+	steps []Step
+}
+
+// NewStepLoad builds a StepLoad from segments, which are sorted by start
+// time. It panics if any fraction is outside (0, 1].
+func NewStepLoad(steps ...Step) *StepLoad {
+	s := make([]Step, len(steps))
+	copy(s, steps)
+	sort.Slice(s, func(i, j int) bool { return s[i].Start < s[j].Start })
+	for _, st := range s {
+		if st.Fraction <= 0 || st.Fraction > 1 {
+			panic(fmt.Sprintf("hnoc: step fraction %v outside (0,1]", st.Fraction))
+		}
+	}
+	return &StepLoad{steps: s}
+}
+
+// Available implements LoadProfile.
+func (l *StepLoad) Available(t float64) float64 {
+	frac := 1.0
+	for _, s := range l.steps {
+		if s.Start <= t {
+			frac = s.Fraction
+		} else {
+			break
+		}
+	}
+	return frac
+}
+
+// FinishTime implements LoadProfile by integrating the piecewise-constant
+// availability exactly.
+func (l *StepLoad) FinishTime(t, work float64) float64 {
+	if work <= 0 {
+		return t
+	}
+	now := t
+	remaining := work
+	// Walk segment boundaries after `now`.
+	for _, s := range l.steps {
+		if s.Start <= now {
+			continue
+		}
+		frac := l.Available(now)
+		capacity := (s.Start - now) * frac
+		if capacity >= remaining {
+			return now + remaining/frac
+		}
+		remaining -= capacity
+		now = s.Start
+	}
+	return now + remaining/l.Available(now)
+}
+
+// SineLoad is a smoothly oscillating load profile:
+// available(t) = Base + Amplitude*sin(2π t / Period). The parameters must
+// keep the value within (0, 1].
+type SineLoad struct {
+	Base      float64
+	Amplitude float64
+	Period    float64
+}
+
+// Available implements LoadProfile.
+func (l SineLoad) Available(t float64) float64 {
+	v := l.Base + l.Amplitude*math.Sin(2*math.Pi*t/l.Period)
+	if v < 1e-9 {
+		v = 1e-9
+	}
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// FinishTime implements LoadProfile by numeric integration with a step of
+// Period/64, refining the final partial step by bisection.
+func (l SineLoad) FinishTime(t, work float64) float64 {
+	if work <= 0 {
+		return t
+	}
+	dt := l.Period / 64
+	now := t
+	remaining := work
+	for {
+		frac := l.Available(now + dt/2) // midpoint rule
+		capacity := dt * frac
+		if capacity >= remaining {
+			// Bisect within [now, now+dt].
+			lo, hi := now, now+dt
+			for i := 0; i < 40; i++ {
+				mid := (lo + hi) / 2
+				if l.integrate(now, mid) >= remaining {
+					hi = mid
+				} else {
+					lo = mid
+				}
+			}
+			return hi
+		}
+		remaining -= capacity
+		now += dt
+	}
+}
+
+// integrate approximates the integral of Available over [a, b] by the
+// midpoint rule on 8 sub-intervals.
+func (l SineLoad) integrate(a, b float64) float64 {
+	const n = 8
+	h := (b - a) / n
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += l.Available(a+(float64(i)+0.5)*h) * h
+	}
+	return sum
+}

@@ -1,0 +1,370 @@
+// Package mapper solves the process-selection problem at the heart of
+// HMPI_Group_create: choose, from the available processes of the network,
+// the assignment of the performance model's abstract processors to actual
+// processes that minimises the predicted execution time of the algorithm.
+//
+// Exhaustive search is factorial, so like the mpC runtime the paper builds
+// on, the default strategy is a heuristic: seed by matching the heaviest
+// abstract processors with the fastest processes, then improve by local
+// search (pairwise swaps and substitutions of unused processes) under the
+// full estimator objective.
+package mapper
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Objective scores a candidate assignment (abstract processor index ->
+// world process rank); lower is better. It is typically
+// (*estimator.Estimator).Timeof.
+type Objective func(candidate []int) float64
+
+// Problem describes one selection problem.
+type Problem struct {
+	// P is the number of abstract processors to place.
+	P int
+	// Avail lists the world ranks that may be selected (the free
+	// processes, plus the parent).
+	Avail []int
+	// Fixed pins abstract processors to specific ranks; the parent of
+	// the new group is pinned to the model's parent coordinate.
+	Fixed map[int]int
+	// Weights[i] is the computation volume of abstract processor i, used
+	// by the greedy seeding heuristic.
+	Weights []float64
+	// SpeedOf returns the estimated speed of a world process, used by
+	// the greedy seeding heuristic.
+	SpeedOf func(rank int) float64
+	// Objective scores candidates.
+	Objective Objective
+}
+
+// Strategy selects the search algorithm.
+type Strategy int
+
+// Strategies.
+const (
+	// StrategyAuto uses exhaustive search for tiny problems and greedy
+	// seeding plus local search otherwise.
+	StrategyAuto Strategy = iota
+	// StrategyExhaustive enumerates every assignment (errors out beyond
+	// ExhaustiveLimit evaluations).
+	StrategyExhaustive
+	// StrategyGreedy uses only the speed-ordered seeding.
+	StrategyGreedy
+	// StrategyGreedyLocal refines the greedy seed by local search.
+	StrategyGreedyLocal
+	// StrategyRandomBest scores RandomTries random assignments and keeps
+	// the best; a baseline for the ablation study.
+	StrategyRandomBest
+)
+
+// Options tune the search.
+type Options struct {
+	Strategy Strategy
+	// ExhaustiveLimit caps the number of exhaustive evaluations
+	// (default 200000).
+	ExhaustiveLimit int
+	// MaxIterations caps local-search improvement rounds (default 100).
+	MaxIterations int
+	// RandomTries is the sample size for StrategyRandomBest (default
+	// 100).
+	RandomTries int
+}
+
+func (o *Options) fill() {
+	if o.ExhaustiveLimit == 0 {
+		o.ExhaustiveLimit = 200_000
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 100
+	}
+	if o.RandomTries == 0 {
+		o.RandomTries = 100
+	}
+}
+
+// Assignment is a solved selection.
+type Assignment struct {
+	// Ranks[i] is the world process rank running abstract processor i.
+	Ranks []int
+	// Time is the objective value (predicted execution time).
+	Time float64
+	// Evaluations counts objective calls spent.
+	Evaluations int
+}
+
+// Solve runs the selection search.
+func Solve(pr Problem, opts Options) (Assignment, error) {
+	opts.fill()
+	if err := validate(pr); err != nil {
+		return Assignment{}, err
+	}
+	switch opts.Strategy {
+	case StrategyExhaustive:
+		return exhaustive(pr, opts)
+	case StrategyGreedy:
+		a := greedy(pr)
+		a.Time = pr.Objective(a.Ranks)
+		a.Evaluations = 1
+		return a, nil
+	case StrategyGreedyLocal:
+		return greedyLocal(pr, opts)
+	case StrategyRandomBest:
+		return randomBest(pr, opts)
+	default: // StrategyAuto
+		if cost := exhaustiveCost(len(pr.Avail), pr.P, opts.ExhaustiveLimit); cost > 0 {
+			return exhaustive(pr, opts)
+		}
+		return greedyLocal(pr, opts)
+	}
+}
+
+func validate(pr Problem) error {
+	if pr.P <= 0 {
+		return fmt.Errorf("mapper: non-positive processor count %d", pr.P)
+	}
+	if pr.Objective == nil {
+		return fmt.Errorf("mapper: nil objective")
+	}
+	seen := make(map[int]bool, len(pr.Avail))
+	for _, r := range pr.Avail {
+		if seen[r] {
+			return fmt.Errorf("mapper: rank %d listed twice in Avail", r)
+		}
+		seen[r] = true
+	}
+	for a, r := range pr.Fixed {
+		if a < 0 || a >= pr.P {
+			return fmt.Errorf("mapper: fixed abstract index %d out of range", a)
+		}
+		if !seen[r] {
+			return fmt.Errorf("mapper: fixed rank %d not in Avail", r)
+		}
+	}
+	if len(pr.Avail) < pr.P {
+		return fmt.Errorf("mapper: %d processes available for %d abstract processors", len(pr.Avail), pr.P)
+	}
+	if pr.Weights != nil && len(pr.Weights) != pr.P {
+		return fmt.Errorf("mapper: %d weights for %d abstract processors", len(pr.Weights), pr.P)
+	}
+	return nil
+}
+
+// exhaustiveCost returns the number of assignments if it is within limit,
+// else -1.
+func exhaustiveCost(n, p, limit int) int {
+	cost := 1
+	for i := 0; i < p; i++ {
+		cost *= n - i
+		if cost > limit || cost < 0 {
+			return -1
+		}
+	}
+	return cost
+}
+
+// exhaustive enumerates all injective assignments of Avail ranks to the P
+// abstract positions (respecting Fixed) and returns the best.
+func exhaustive(pr Problem, opts Options) (Assignment, error) {
+	if exhaustiveCost(len(pr.Avail), pr.P, opts.ExhaustiveLimit) < 0 {
+		return Assignment{}, fmt.Errorf("mapper: exhaustive search over %d processes in %d slots exceeds limit %d",
+			len(pr.Avail), pr.P, opts.ExhaustiveLimit)
+	}
+	cand := make([]int, pr.P)
+	used := make(map[int]bool, pr.P)
+	for a, r := range pr.Fixed {
+		cand[a] = r
+		used[r] = true
+	}
+	best := Assignment{Time: -1}
+	evals := 0
+	var rec func(slot int)
+	rec = func(slot int) {
+		for slot < pr.P {
+			if _, fixed := pr.Fixed[slot]; !fixed {
+				break
+			}
+			slot++
+		}
+		if slot == pr.P {
+			t := pr.Objective(cand)
+			evals++
+			if best.Time < 0 || t < best.Time {
+				best.Time = t
+				best.Ranks = append(best.Ranks[:0], cand...)
+			}
+			return
+		}
+		for _, r := range pr.Avail {
+			if used[r] {
+				continue
+			}
+			cand[slot] = r
+			used[r] = true
+			rec(slot + 1)
+			used[r] = false
+		}
+	}
+	rec(0)
+	best.Ranks = append([]int(nil), best.Ranks...)
+	best.Evaluations = evals
+	return best, nil
+}
+
+// greedy assigns the heaviest abstract processors to the fastest available
+// processes.
+func greedy(pr Problem) Assignment {
+	cand := make([]int, pr.P)
+	used := make(map[int]bool, pr.P)
+	for a, r := range pr.Fixed {
+		cand[a] = r
+		used[r] = true
+	}
+	// Abstract positions by descending weight (stable on index).
+	slots := make([]int, 0, pr.P)
+	for a := 0; a < pr.P; a++ {
+		if _, fixed := pr.Fixed[a]; !fixed {
+			slots = append(slots, a)
+		}
+	}
+	if pr.Weights != nil {
+		sort.SliceStable(slots, func(i, j int) bool {
+			return pr.Weights[slots[i]] > pr.Weights[slots[j]]
+		})
+	}
+	// Processes by descending speed (stable on rank order).
+	ranks := make([]int, 0, len(pr.Avail))
+	for _, r := range pr.Avail {
+		if !used[r] {
+			ranks = append(ranks, r)
+		}
+	}
+	if pr.SpeedOf != nil {
+		sort.SliceStable(ranks, func(i, j int) bool {
+			return pr.SpeedOf(ranks[i]) > pr.SpeedOf(ranks[j])
+		})
+	}
+	for i, a := range slots {
+		cand[a] = ranks[i]
+	}
+	return Assignment{Ranks: cand}
+}
+
+// greedyLocal refines the greedy seed with hill-climbing local search:
+// swap the processes of two abstract positions, or substitute an unused
+// available process, keeping any move that lowers the objective.
+func greedyLocal(pr Problem, opts Options) (Assignment, error) {
+	a := greedy(pr)
+	cand := a.Ranks
+	evals := 0
+	best := pr.Objective(cand)
+	evals++
+
+	fixed := func(slot int) bool {
+		_, ok := pr.Fixed[slot]
+		return ok
+	}
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		improved := false
+		// Pairwise swaps.
+		for i := 0; i < pr.P; i++ {
+			if fixed(i) {
+				continue
+			}
+			for j := i + 1; j < pr.P; j++ {
+				if fixed(j) {
+					continue
+				}
+				cand[i], cand[j] = cand[j], cand[i]
+				t := pr.Objective(cand)
+				evals++
+				if t < best {
+					best = t
+					improved = true
+				} else {
+					cand[i], cand[j] = cand[j], cand[i]
+				}
+			}
+		}
+		// Substitutions with unused processes.
+		used := make(map[int]bool, pr.P)
+		for _, r := range cand {
+			used[r] = true
+		}
+		for i := 0; i < pr.P; i++ {
+			if fixed(i) {
+				continue
+			}
+			for _, r := range pr.Avail {
+				if used[r] {
+					continue
+				}
+				old := cand[i]
+				cand[i] = r
+				t := pr.Objective(cand)
+				evals++
+				if t < best {
+					best = t
+					used[r] = true
+					delete(used, old)
+					improved = true
+				} else {
+					cand[i] = old
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return Assignment{Ranks: cand, Time: best, Evaluations: evals}, nil
+}
+
+// randomBest scores opts.RandomTries pseudo-random assignments (xorshift,
+// fixed seed: deterministic) and keeps the best.
+func randomBest(pr Problem, opts Options) (Assignment, error) {
+	state := uint64(0x9E3779B97F4A7C15)
+	next := func(n int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int(state % uint64(n))
+	}
+	best := Assignment{Time: -1}
+	pool := make([]int, 0, len(pr.Avail))
+	fixedRanks := make(map[int]bool, len(pr.Fixed))
+	for _, r := range pr.Fixed {
+		fixedRanks[r] = true
+	}
+	for _, r := range pr.Avail {
+		if !fixedRanks[r] {
+			pool = append(pool, r)
+		}
+	}
+	for try := 0; try < opts.RandomTries; try++ {
+		perm := append([]int(nil), pool...)
+		for i := len(perm) - 1; i > 0; i-- {
+			j := next(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		cand := make([]int, pr.P)
+		k := 0
+		for a := 0; a < pr.P; a++ {
+			if r, ok := pr.Fixed[a]; ok {
+				cand[a] = r
+				continue
+			}
+			cand[a] = perm[k]
+			k++
+		}
+		t := pr.Objective(cand)
+		if best.Time < 0 || t < best.Time {
+			best.Time = t
+			best.Ranks = cand
+		}
+	}
+	best.Evaluations = opts.RandomTries
+	return best, nil
+}

@@ -1,0 +1,267 @@
+package mpi
+
+import "fmt"
+
+// Collective operations. All members of the communicator must call the
+// same collective in the same order. The implementations use the classic
+// algorithms of early-2000s MPI libraries, so the simulated cost of a
+// collective reflects its communication structure: binomial trees for
+// broadcast and reduce, flat trees for gather and scatter (the switched
+// Ethernet of the paper's testbed serialises a root's transfers anyway),
+// a ring for allgather and pairwise exchange for alltoall.
+
+// Internal tags; user tags are non-negative, so the collective tags cannot
+// collide with point-to-point traffic on the same communicator.
+const (
+	tagBarrier = -100 - iota
+	tagBcast
+	tagReduce
+	tagGather
+	tagScatter
+	tagAllgather
+	tagAlltoall
+	tagScan
+)
+
+// Barrier blocks until all members have entered it (dissemination
+// algorithm: ceil(log2 n) rounds of pairwise exchange).
+func (c *Comm) Barrier() {
+	n := c.Size()
+	if n == 1 {
+		return
+	}
+	me := c.rank
+	for k := 1; k < n; k *= 2 {
+		dst := (me + k) % n
+		src := (me - k + n) % n
+		c.Sendrecv(dst, tagBarrier, nil, src, tagBarrier)
+	}
+}
+
+// Bcast broadcasts root's data to all members along a binomial tree and
+// returns the received slice (root returns data unchanged).
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	c.checkRank("Bcast", root)
+	n := c.Size()
+	if n == 1 {
+		return data
+	}
+	// Rotate ranks so the root is virtual rank 0, then walk the binomial
+	// tree: receive from the parent (vrank with its lowest set bit
+	// cleared), then forward to each child vrank+mask for descending
+	// mask.
+	vrank := (c.rank - root + n) % n
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			src := (c.rank - mask + n) % n
+			data, _ = c.Recv(src, tagBcast)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vrank+mask < n {
+			c.Send((c.rank+mask)%n, tagBcast, data)
+		}
+		mask >>= 1
+	}
+	return data
+}
+
+// Op combines the bytes of in into inout; it is the reduction operator.
+// The two slices always have equal length.
+type Op func(inout, in []byte)
+
+// Reduce combines every member's data with op and returns the result on
+// root (nil elsewhere). Combination runs up a binomial tree; op must be
+// associative and commutative.
+func (c *Comm) Reduce(root int, data []byte, op Op) []byte {
+	c.checkRank("Reduce", root)
+	n := c.Size()
+	acc := append([]byte(nil), data...)
+	if n == 1 {
+		return acc
+	}
+	vrank := (c.rank - root + n) % n
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			parent := ((vrank &^ mask) + root) % n
+			c.Send(parent, tagReduce, acc)
+			return nil
+		}
+		child := vrank | mask
+		if child < n {
+			in, _ := c.Recv((child+root)%n, tagReduce)
+			if len(in) != len(acc) {
+				panic(fmt.Sprintf("mpi: Reduce length mismatch: %d vs %d", len(in), len(acc)))
+			}
+			op(acc, in)
+		}
+		mask <<= 1
+	}
+	return acc
+}
+
+// Allreduce combines every member's data with op and returns the result on
+// all members (reduce to rank 0, then broadcast).
+func (c *Comm) Allreduce(data []byte, op Op) []byte {
+	res := c.Reduce(0, data, op)
+	return c.Bcast(0, res)
+}
+
+// Gather collects every member's data on root, which receives the
+// concatenation indexed by rank; other members return nil. Contributions
+// may have different sizes (this therefore also covers MPI_Gatherv).
+func (c *Comm) Gather(root int, data []byte) [][]byte {
+	c.checkRank("Gather", root)
+	if c.rank != root {
+		c.Send(root, tagGather, data)
+		return nil
+	}
+	out := make([][]byte, c.Size())
+	out[root] = append([]byte(nil), data...)
+	// Receive in rank order for determinism; messages may arrive in any
+	// order, matching handles it.
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		out[r], _ = c.Recv(r, tagGather)
+	}
+	return out
+}
+
+// Scatter distributes parts[r] from root to each member r and returns the
+// local part. Only root's parts argument is consulted; it must have one
+// entry per member (different sizes allowed, covering MPI_Scatterv).
+func (c *Comm) Scatter(root int, parts [][]byte) []byte {
+	c.checkRank("Scatter", root)
+	if c.rank == root {
+		if len(parts) != c.Size() {
+			panic(fmt.Sprintf("mpi: Scatter needs %d parts, got %d", c.Size(), len(parts)))
+		}
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			c.Send(r, tagScatter, parts[r])
+		}
+		return append([]byte(nil), parts[root]...)
+	}
+	data, _ := c.Recv(root, tagScatter)
+	return data
+}
+
+// Allgather collects every member's data on every member (ring algorithm:
+// n-1 steps, each member forwards the newest block to its right
+// neighbour).
+func (c *Comm) Allgather(data []byte) [][]byte {
+	n := c.Size()
+	out := make([][]byte, n)
+	out[c.rank] = append([]byte(nil), data...)
+	if n == 1 {
+		return out
+	}
+	right := (c.rank + 1) % n
+	left := (c.rank - 1 + n) % n
+	cur := c.rank
+	for step := 0; step < n-1; step++ {
+		in, _ := c.Sendrecv(right, tagAllgather, out[cur], left, tagAllgather)
+		cur = (cur - 1 + n) % n
+		out[cur] = in
+	}
+	return out
+}
+
+// Alltoall delivers parts[r] to member r and returns the blocks received
+// from every member, indexed by source rank (pairwise-exchange algorithm).
+// parts must have one entry per member.
+func (c *Comm) Alltoall(parts [][]byte) [][]byte {
+	n := c.Size()
+	if len(parts) != n {
+		panic(fmt.Sprintf("mpi: Alltoall needs %d parts, got %d", n, len(parts)))
+	}
+	out := make([][]byte, n)
+	out[c.rank] = append([]byte(nil), parts[c.rank]...)
+	for step := 1; step < n; step++ {
+		dst := (c.rank + step) % n
+		src := (c.rank - step + n) % n
+		out[src], _ = c.Sendrecv(dst, tagAlltoall, parts[dst], src, tagAlltoall)
+	}
+	return out
+}
+
+// Scan computes the inclusive prefix reduction: member r returns
+// op(data_0, ..., data_r) (linear-chain algorithm).
+func (c *Comm) Scan(data []byte, op Op) []byte {
+	acc := append([]byte(nil), data...)
+	if c.rank > 0 {
+		in, _ := c.Recv(c.rank-1, tagScan)
+		if len(in) != len(acc) {
+			panic(fmt.Sprintf("mpi: Scan length mismatch: %d vs %d", len(in), len(acc)))
+		}
+		prev := append([]byte(nil), in...)
+		op(prev, acc)
+		acc = prev
+	}
+	if c.rank < c.Size()-1 {
+		c.Send(c.rank+1, tagScan, acc)
+	}
+	return acc
+}
+
+// Exscan computes the exclusive prefix reduction: member r returns
+// op(data_0, ..., data_(r-1)); member 0 returns nil (MPI_Exscan).
+func (c *Comm) Exscan(data []byte, op Op) []byte {
+	var prefix []byte // op of ranks < me, nil on rank 0
+	if c.rank > 0 {
+		in, _ := c.Recv(c.rank-1, tagScan)
+		prefix = in
+	}
+	if c.rank < c.Size()-1 {
+		out := append([]byte(nil), data...)
+		if prefix != nil {
+			combined := append([]byte(nil), prefix...)
+			op(combined, data)
+			out = combined
+		}
+		c.Send(c.rank+1, tagScan, out)
+	}
+	return prefix
+}
+
+// ReduceScatter combines every member's parts element-wise with op and
+// scatters the result: member r returns the reduction of everyone's
+// parts[r] (MPI_Reduce_scatter, implemented as reduce-then-scatter). parts
+// must have one entry per member, with sizes agreed across members.
+func (c *Comm) ReduceScatter(parts [][]byte, op Op) []byte {
+	n := c.Size()
+	if len(parts) != n {
+		panic(fmt.Sprintf("mpi: ReduceScatter needs %d parts, got %d", n, len(parts)))
+	}
+	// Reduce the concatenation on rank 0, then scatter the slices.
+	sizes := make([]int, n)
+	total := 0
+	for r, p := range parts {
+		sizes[r] = len(p)
+		total += len(p)
+	}
+	flat := make([]byte, 0, total)
+	for _, p := range parts {
+		flat = append(flat, p...)
+	}
+	red := c.Reduce(0, flat, op)
+	var scatterParts [][]byte
+	if c.rank == 0 {
+		scatterParts = make([][]byte, n)
+		off := 0
+		for r := 0; r < n; r++ {
+			scatterParts[r] = red[off : off+sizes[r]]
+			off += sizes[r]
+		}
+	}
+	return c.Scatter(0, scatterParts)
+}

@@ -1,0 +1,281 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// forEachSize runs a collective test over a range of communicator sizes,
+// including awkward ones (1, primes, powers of two ± 1).
+func forEachSize(t *testing.T, f func(t *testing.T, n int)) {
+	t.Helper()
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 13} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) { f(t, n) })
+	}
+}
+
+func TestBcastAllSizesAllRoots(t *testing.T) {
+	forEachSize(t, func(t *testing.T, n int) {
+		for root := 0; root < n; root++ {
+			w := newTestWorld(t, n)
+			payload := []byte(fmt.Sprintf("payload-from-%d", root))
+			runWorld(t, w, func(p *Proc) error {
+				comm := p.CommWorld()
+				var data []byte
+				if p.Rank() == root {
+					data = payload
+				}
+				got := comm.Bcast(root, data)
+				if !bytes.Equal(got, payload) {
+					return fmt.Errorf("rank %d got %q", p.Rank(), got)
+				}
+				return nil
+			})
+		}
+	})
+}
+
+func TestReduceSum(t *testing.T) {
+	forEachSize(t, func(t *testing.T, n int) {
+		for root := 0; root < n; root += max(1, n/3) {
+			w := newTestWorld(t, n)
+			runWorld(t, w, func(p *Proc) error {
+				comm := p.CommWorld()
+				mine := Float64Bytes([]float64{float64(p.Rank()), 1})
+				res := comm.Reduce(root, mine, SumFloat64)
+				if p.Rank() == root {
+					got := BytesFloat64(res)
+					wantSum := float64(n*(n-1)) / 2
+					if got[0] != wantSum || got[1] != float64(n) {
+						return fmt.Errorf("reduce got %v, want [%v %v]", got, wantSum, n)
+					}
+				} else if res != nil {
+					return fmt.Errorf("non-root got non-nil reduce result")
+				}
+				return nil
+			})
+		}
+	})
+}
+
+func TestAllreduceMinMax(t *testing.T) {
+	forEachSize(t, func(t *testing.T, n int) {
+		w := newTestWorld(t, n)
+		runWorld(t, w, func(p *Proc) error {
+			comm := p.CommWorld()
+			mine := Int64Bytes([]int64{int64(p.Rank())})
+			maxv := BytesInt64(comm.Allreduce(mine, MaxInt64))[0]
+			minv := BytesInt64(comm.Allreduce(mine, MinInt64))[0]
+			if maxv != int64(n-1) || minv != 0 {
+				return fmt.Errorf("rank %d: min %d max %d", p.Rank(), minv, maxv)
+			}
+			return nil
+		})
+	})
+}
+
+func TestGatherVariableSizes(t *testing.T) {
+	forEachSize(t, func(t *testing.T, n int) {
+		root := n - 1
+		w := newTestWorld(t, n)
+		runWorld(t, w, func(p *Proc) error {
+			comm := p.CommWorld()
+			mine := bytes.Repeat([]byte{byte(p.Rank())}, p.Rank()+1)
+			got := comm.Gather(root, mine)
+			if p.Rank() != root {
+				if got != nil {
+					return fmt.Errorf("non-root gather returned data")
+				}
+				return nil
+			}
+			for r := 0; r < n; r++ {
+				want := bytes.Repeat([]byte{byte(r)}, r+1)
+				if !bytes.Equal(got[r], want) {
+					return fmt.Errorf("gathered[%d] = %v, want %v", r, got[r], want)
+				}
+			}
+			return nil
+		})
+	})
+}
+
+func TestScatterVariableSizes(t *testing.T) {
+	forEachSize(t, func(t *testing.T, n int) {
+		w := newTestWorld(t, n)
+		runWorld(t, w, func(p *Proc) error {
+			comm := p.CommWorld()
+			var parts [][]byte
+			if p.Rank() == 0 {
+				for r := 0; r < n; r++ {
+					parts = append(parts, bytes.Repeat([]byte{byte(r)}, r+2))
+				}
+			}
+			got := comm.Scatter(0, parts)
+			want := bytes.Repeat([]byte{byte(p.Rank())}, p.Rank()+2)
+			if !bytes.Equal(got, want) {
+				return fmt.Errorf("rank %d scattered %v, want %v", p.Rank(), got, want)
+			}
+			return nil
+		})
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	forEachSize(t, func(t *testing.T, n int) {
+		w := newTestWorld(t, n)
+		runWorld(t, w, func(p *Proc) error {
+			comm := p.CommWorld()
+			got := comm.Allgather([]byte{byte(p.Rank()), byte(p.Rank() * 2)})
+			for r := 0; r < n; r++ {
+				want := []byte{byte(r), byte(r * 2)}
+				if !bytes.Equal(got[r], want) {
+					return fmt.Errorf("rank %d: allgather[%d] = %v, want %v", p.Rank(), r, got[r], want)
+				}
+			}
+			return nil
+		})
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	forEachSize(t, func(t *testing.T, n int) {
+		w := newTestWorld(t, n)
+		runWorld(t, w, func(p *Proc) error {
+			comm := p.CommWorld()
+			parts := make([][]byte, n)
+			for r := 0; r < n; r++ {
+				parts[r] = []byte{byte(p.Rank()), byte(r)}
+			}
+			got := comm.Alltoall(parts)
+			for r := 0; r < n; r++ {
+				want := []byte{byte(r), byte(p.Rank())}
+				if !bytes.Equal(got[r], want) {
+					return fmt.Errorf("rank %d: alltoall[%d] = %v, want %v", p.Rank(), r, got[r], want)
+				}
+			}
+			return nil
+		})
+	})
+}
+
+func TestScanPrefixSums(t *testing.T) {
+	forEachSize(t, func(t *testing.T, n int) {
+		w := newTestWorld(t, n)
+		runWorld(t, w, func(p *Proc) error {
+			comm := p.CommWorld()
+			mine := Int64Bytes([]int64{int64(p.Rank() + 1)})
+			got := BytesInt64(comm.Scan(mine, SumInt64))[0]
+			r := int64(p.Rank() + 1)
+			want := r * (r + 1) / 2
+			if got != want {
+				return fmt.Errorf("rank %d scan = %d, want %d", p.Rank(), got, want)
+			}
+			return nil
+		})
+	})
+}
+
+func TestBarrierSynchronisesClocks(t *testing.T) {
+	// After a barrier, every clock is at least the maximum pre-barrier
+	// clock (rank 2 computed for 10 virtual seconds).
+	w := newTestWorld(t, 4)
+	runWorld(t, w, func(p *Proc) error {
+		comm := p.CommWorld()
+		if p.Rank() == 2 {
+			p.Compute(300) // 10 s at speed 30
+		}
+		comm.Barrier()
+		if p.Now() < 10 {
+			return fmt.Errorf("rank %d clock %v after barrier, want >= 10", p.Rank(), p.Now())
+		}
+		return nil
+	})
+}
+
+func TestCollectivesOnSubCommunicator(t *testing.T) {
+	// Collectives must be isolated per communicator context: two disjoint
+	// halves run independent broadcasts with clashing tags.
+	w := newTestWorld(t, 6)
+	runWorld(t, w, func(p *Proc) error {
+		world := p.CommWorld()
+		half := world.Split(p.Rank()%2, p.Rank())
+		payload := []byte{byte(100 + p.Rank()%2)}
+		var data []byte
+		if half.Rank() == 0 {
+			data = payload
+		}
+		got := half.Bcast(0, data)
+		if got[0] != byte(100+p.Rank()%2) {
+			return fmt.Errorf("rank %d got cross-communicator data %v", p.Rank(), got)
+		}
+		return nil
+	})
+}
+
+func TestExscan(t *testing.T) {
+	forEachSize(t, func(t *testing.T, n int) {
+		w := newTestWorld(t, n)
+		runWorld(t, w, func(p *Proc) error {
+			comm := p.CommWorld()
+			mine := Int64Bytes([]int64{int64(p.Rank() + 1)})
+			got := comm.Exscan(mine, SumInt64)
+			if p.Rank() == 0 {
+				if got != nil {
+					return fmt.Errorf("rank 0 exscan returned %v, want nil", got)
+				}
+				return nil
+			}
+			r := int64(p.Rank())
+			want := r * (r + 1) / 2
+			if BytesInt64(got)[0] != want {
+				return fmt.Errorf("rank %d exscan = %d, want %d", p.Rank(), BytesInt64(got)[0], want)
+			}
+			return nil
+		})
+	})
+}
+
+func TestReduceScatter(t *testing.T) {
+	forEachSize(t, func(t *testing.T, n int) {
+		w := newTestWorld(t, n)
+		runWorld(t, w, func(p *Proc) error {
+			comm := p.CommWorld()
+			// parts[r] = [rank*10 + r], so the reduction of slot r is
+			// sum over ranks of (rank*10 + r) = 10*sum(ranks) + n*r.
+			parts := make([][]byte, n)
+			for r := 0; r < n; r++ {
+				parts[r] = Int64Bytes([]int64{int64(p.Rank()*10 + r)})
+			}
+			got := BytesInt64(comm.ReduceScatter(parts, SumInt64))[0]
+			want := int64(10*n*(n-1)/2 + n*p.Rank())
+			if got != want {
+				return fmt.Errorf("rank %d reduce-scatter = %d, want %d", p.Rank(), got, want)
+			}
+			return nil
+		})
+	})
+}
+
+func TestReduceScatterVariableSizes(t *testing.T) {
+	w := newTestWorld(t, 3)
+	runWorld(t, w, func(p *Proc) error {
+		comm := p.CommWorld()
+		parts := [][]byte{
+			Float64Bytes([]float64{1}),
+			Float64Bytes([]float64{2, 2}),
+			Float64Bytes([]float64{3, 3, 3}),
+		}
+		got := BytesFloat64(comm.ReduceScatter(parts, SumFloat64))
+		if len(got) != comm.Rank()+1 {
+			return fmt.Errorf("rank %d got %d elements", comm.Rank(), len(got))
+		}
+		want := float64(comm.Rank()+1) * 3 // three members contribute
+		for _, v := range got {
+			if v != want {
+				return fmt.Errorf("rank %d element %v, want %v", comm.Rank(), v, want)
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,124 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Typed helpers. The core library moves []byte; these functions convert
+// the numeric slices applications work with and provide the standard
+// reduction operators for them. Encoding is little-endian, 8 bytes per
+// element.
+
+// Float64Bytes encodes a []float64.
+func Float64Bytes(xs []float64) []byte {
+	out := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}
+
+// BytesFloat64 decodes a []float64.
+func BytesFloat64(b []byte) []float64 {
+	if len(b)%8 != 0 {
+		panic("mpi: float64 payload length not a multiple of 8")
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// Int64Bytes encodes a []int64.
+func Int64Bytes(xs []int64) []byte {
+	out := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(x))
+	}
+	return out
+}
+
+// BytesInt64 decodes a []int64.
+func BytesInt64(b []byte) []int64 {
+	if len(b)%8 != 0 {
+		panic("mpi: int64 payload length not a multiple of 8")
+	}
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// IntsBytes encodes a []int (as int64 on the wire).
+func IntsBytes(xs []int) []byte {
+	out := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(out[8*i:], uint64(int64(x)))
+	}
+	return out
+}
+
+// BytesInts decodes a []int.
+func BytesInts(b []byte) []int {
+	xs := BytesInt64(b)
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = int(x)
+	}
+	return out
+}
+
+// Elementwise float64 reduction operators.
+var (
+	// SumFloat64 adds element-wise.
+	SumFloat64 Op = func(inout, in []byte) { combineF64(inout, in, func(a, b float64) float64 { return a + b }) }
+	// MaxFloat64 takes the element-wise maximum.
+	MaxFloat64 Op = func(inout, in []byte) { combineF64(inout, in, math.Max) }
+	// MinFloat64 takes the element-wise minimum.
+	MinFloat64 Op = func(inout, in []byte) { combineF64(inout, in, math.Min) }
+	// ProdFloat64 multiplies element-wise.
+	ProdFloat64 Op = func(inout, in []byte) { combineF64(inout, in, func(a, b float64) float64 { return a * b }) }
+)
+
+// Elementwise int64 reduction operators.
+var (
+	// SumInt64 adds element-wise.
+	SumInt64 Op = func(inout, in []byte) { combineI64(inout, in, func(a, b int64) int64 { return a + b }) }
+	// MaxInt64 takes the element-wise maximum.
+	MaxInt64 Op = func(inout, in []byte) {
+		combineI64(inout, in, func(a, b int64) int64 {
+			if b > a {
+				return b
+			}
+			return a
+		})
+	}
+	// MinInt64 takes the element-wise minimum.
+	MinInt64 Op = func(inout, in []byte) {
+		combineI64(inout, in, func(a, b int64) int64 {
+			if b < a {
+				return b
+			}
+			return a
+		})
+	}
+)
+
+func combineF64(inout, in []byte, f func(a, b float64) float64) {
+	for i := 0; i+8 <= len(inout); i += 8 {
+		a := math.Float64frombits(binary.LittleEndian.Uint64(inout[i:]))
+		b := math.Float64frombits(binary.LittleEndian.Uint64(in[i:]))
+		binary.LittleEndian.PutUint64(inout[i:], math.Float64bits(f(a, b)))
+	}
+}
+
+func combineI64(inout, in []byte, f func(a, b int64) int64) {
+	for i := 0; i+8 <= len(inout); i += 8 {
+		a := int64(binary.LittleEndian.Uint64(inout[i:]))
+		b := int64(binary.LittleEndian.Uint64(in[i:]))
+		binary.LittleEndian.PutUint64(inout[i:], uint64(f(a, b)))
+	}
+}

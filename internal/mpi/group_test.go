@@ -1,0 +1,199 @@
+package mpi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func g(ranks ...int) *Group { return NewGroup(ranks) }
+
+func TestGroupBasics(t *testing.T) {
+	grp := g(3, 1, 4)
+	if grp.Size() != 3 {
+		t.Fatalf("size = %d", grp.Size())
+	}
+	if grp.WorldRank(0) != 3 || grp.WorldRank(2) != 4 {
+		t.Fatal("WorldRank order wrong")
+	}
+	if grp.Rank(1) != 1 || grp.Rank(4) != 2 || grp.Rank(99) != -1 {
+		t.Fatal("Rank lookup wrong")
+	}
+	if !grp.Contains(3) || grp.Contains(0) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestNewGroupRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate ranks accepted")
+		}
+	}()
+	NewGroup([]int{1, 2, 1})
+}
+
+func TestGroupSetOps(t *testing.T) {
+	a := g(0, 1, 2, 3)
+	b := g(2, 3, 4, 5)
+
+	u := a.Union(b)
+	if want := []int{0, 1, 2, 3, 4, 5}; !equalInts(u.Ranks(), want) {
+		t.Errorf("Union = %v, want %v", u.Ranks(), want)
+	}
+	i := a.Intersection(b)
+	if want := []int{2, 3}; !equalInts(i.Ranks(), want) {
+		t.Errorf("Intersection = %v, want %v", i.Ranks(), want)
+	}
+	d := a.Difference(b)
+	if want := []int{0, 1}; !equalInts(d.Ranks(), want) {
+		t.Errorf("Difference = %v, want %v", d.Ranks(), want)
+	}
+	// MPI ordering: union keeps the first group's order first.
+	u2 := b.Union(a)
+	if want := []int{2, 3, 4, 5, 0, 1}; !equalInts(u2.Ranks(), want) {
+		t.Errorf("Union order = %v, want %v", u2.Ranks(), want)
+	}
+}
+
+func TestInclExcl(t *testing.T) {
+	grp := g(10, 11, 12, 13, 14)
+	in := grp.Incl([]int{4, 0, 2})
+	if want := []int{14, 10, 12}; !equalInts(in.Ranks(), want) {
+		t.Errorf("Incl = %v, want %v", in.Ranks(), want)
+	}
+	ex := grp.Excl([]int{1, 3})
+	if want := []int{10, 12, 14}; !equalInts(ex.Ranks(), want) {
+		t.Errorf("Excl = %v, want %v", ex.Ranks(), want)
+	}
+}
+
+func TestRangeInclExcl(t *testing.T) {
+	grp := g(0, 1, 2, 3, 4, 5, 6, 7)
+	in := grp.RangeIncl([]RangeTriplet{{First: 0, Last: 6, Stride: 2}})
+	if want := []int{0, 2, 4, 6}; !equalInts(in.Ranks(), want) {
+		t.Errorf("RangeIncl = %v, want %v", in.Ranks(), want)
+	}
+	rev := grp.RangeIncl([]RangeTriplet{{First: 3, Last: 1, Stride: -1}})
+	if want := []int{3, 2, 1}; !equalInts(rev.Ranks(), want) {
+		t.Errorf("reverse RangeIncl = %v, want %v", rev.Ranks(), want)
+	}
+	ex := grp.RangeExcl([]RangeTriplet{{First: 0, Last: 7, Stride: 7}})
+	if want := []int{1, 2, 3, 4, 5, 6}; !equalInts(ex.Ranks(), want) {
+		t.Errorf("RangeExcl = %v, want %v", ex.Ranks(), want)
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	a := g(5, 6, 7, 8)
+	b := g(8, 5)
+	got := a.Translate([]int{0, 1, 3}, b)
+	if want := []int{1, -1, 0}; !equalInts(got, want) {
+		t.Errorf("Translate = %v, want %v", got, want)
+	}
+}
+
+func TestEqualSimilar(t *testing.T) {
+	a := g(1, 2, 3)
+	if !a.Equal(g(1, 2, 3)) || a.Equal(g(3, 2, 1)) || a.Equal(g(1, 2)) {
+		t.Fatal("Equal wrong")
+	}
+	if !a.Similar(g(3, 2, 1)) || a.Similar(g(1, 2, 4)) {
+		t.Fatal("Similar wrong")
+	}
+}
+
+// Property tests for group algebra.
+
+func toGroup(xs []uint8) *Group {
+	seen := map[int]bool{}
+	var ranks []int
+	for _, x := range xs {
+		r := int(x % 32)
+		if !seen[r] {
+			seen[r] = true
+			ranks = append(ranks, r)
+		}
+	}
+	return NewGroup(ranks)
+}
+
+func TestGroupAlgebraProperties(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a, b := toGroup(xs), toGroup(ys)
+		u := a.Union(b)
+		i := a.Intersection(b)
+		d := a.Difference(b)
+		// |A∪B| = |A| + |B| - |A∩B|
+		if u.Size() != a.Size()+b.Size()-i.Size() {
+			return false
+		}
+		// A\B and A∩B partition A.
+		if d.Size()+i.Size() != a.Size() {
+			return false
+		}
+		for _, r := range a.Ranks() {
+			if i.Contains(r) == d.Contains(r) {
+				return false
+			}
+			if !u.Contains(r) {
+				return false
+			}
+		}
+		for _, r := range b.Ranks() {
+			if !u.Contains(r) {
+				return false
+			}
+			if i.Contains(r) != a.Contains(r) {
+				return false
+			}
+		}
+		// Union is similar regardless of order.
+		if !a.Union(b).Similar(b.Union(a)) {
+			return false
+		}
+		// Intersection with self is identity.
+		if !a.Intersection(a).Equal(a) {
+			return false
+		}
+		// Difference with self is empty.
+		if a.Difference(a).Size() != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Incl/Rank round-trip — translating a group through itself is
+// the identity.
+func TestTranslateIdentityProperty(t *testing.T) {
+	f := func(xs []uint8) bool {
+		a := toGroup(xs)
+		if a.Size() == 0 {
+			return true
+		}
+		ranks := make([]int, a.Size())
+		for i := range ranks {
+			ranks[i] = i
+		}
+		got := a.Translate(ranks, a)
+		return equalInts(got, ranks)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,419 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/vclock"
+)
+
+// Wildcards for Recv and Probe, mirroring MPI_ANY_SOURCE and MPI_ANY_TAG.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// envelope is one in-flight message.
+type envelope struct {
+	ctx    int64 // communicator context id
+	src    int   // world rank of the sender
+	tag    int
+	data   []byte
+	arrive vclock.Time // virtual time the last byte reaches the receiver
+	seq    int64       // per-sender sequence, for deterministic tie-breaks
+}
+
+// mailbox holds the messages addressed to one process that no receive has
+// consumed yet. put/get form the only cross-goroutine interaction in the
+// simulation.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []*envelope
+	closed bool
+	owner  int // world rank, for failure reporting
+}
+
+func (m *mailbox) init() {
+	m.cond = sync.NewCond(&m.mu)
+}
+
+func (m *mailbox) put(e *envelope) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return // message to a failed process disappears
+	}
+	m.q = append(m.q, e)
+	m.cond.Broadcast()
+}
+
+// get blocks until a message matching the predicate is present, removes it
+// from the queue and returns it. Among simultaneously queued matches the
+// earliest queued wins, which preserves per-sender FIFO (non-overtaking).
+// giveUp is re-checked whenever the mailbox wakes (a failure notification
+// broadcasts to all mailboxes); a non-negative return panics with a
+// *ProcessFailedError for that rank.
+func (m *mailbox) get(match func(*envelope) bool, giveUp func() int) *envelope {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, e := range m.q {
+			if match(e) {
+				m.q = append(m.q[:i], m.q[i+1:]...)
+				return e
+			}
+		}
+		if m.closed {
+			panic(&ProcessFailedError{Rank: m.owner})
+		}
+		if giveUp != nil {
+			if r := giveUp(); r >= 0 {
+				panic(&ProcessFailedError{Rank: r})
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// notify wakes all waiters so they can re-evaluate giveUp conditions.
+func (m *mailbox) notify() {
+	m.mu.Lock()
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// peek blocks until a matching message is present and returns it without
+// removing it from the queue.
+func (m *mailbox) peek(match func(*envelope) bool, giveUp func() int) *envelope {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for _, e := range m.q {
+			if match(e) {
+				return e
+			}
+		}
+		if m.closed {
+			panic(&ProcessFailedError{Rank: m.owner})
+		}
+		if giveUp != nil {
+			if r := giveUp(); r >= 0 {
+				panic(&ProcessFailedError{Rank: r})
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// tryGet is the non-blocking variant of get; peek leaves the message queued.
+func (m *mailbox) tryGet(match func(*envelope) bool, peek bool) *envelope {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, e := range m.q {
+		if match(e) {
+			if !peek {
+				m.q = append(m.q[:i], m.q[i+1:]...)
+			}
+			return e
+		}
+	}
+	return nil
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Status describes a received or probed message.
+type Status struct {
+	Source int // rank of the sender within the communicator
+	Tag    int
+	Bytes  int
+}
+
+// Request represents an outstanding non-blocking operation.
+type Request struct {
+	done    bool
+	recv    bool
+	c       *Comm
+	src     int // requested source (comm rank or AnySource)
+	tag     int
+	status  Status
+	data    []byte
+	sendEnd vclock.Time // for sends: when the local buffer is free
+}
+
+// checkRank panics if rank is not a valid comm rank.
+func (c *Comm) checkRank(op string, rank int) {
+	if rank < 0 || rank >= len(c.s.members) {
+		panic(fmt.Sprintf("mpi: %s: rank %d out of range [0,%d)", op, rank, len(c.s.members)))
+	}
+}
+
+// sendCommon computes the timing of a transfer and enqueues the envelope.
+// It returns the virtual time at which the sender's interface finishes the
+// transfer. When copy is false the caller cedes ownership of data.
+func (c *Comm) sendCommon(dst, tag int, data []byte, copyBuf bool) vclock.Time {
+	c.checkRank("Send", dst)
+	p := c.p
+	dstW := c.s.members[dst]
+	if p.world.IsFailed(dstW) {
+		panic(&ProcessFailedError{Rank: dstW})
+	}
+	link := p.world.cluster.Link(p.machine, p.world.place[dstW])
+	sendStart := p.clock.Now()
+	p.clock.Advance(vclock.Time(link.Overhead))
+	_, end := p.nicOut.Reserve(p.clock.Now(), vclock.Time(link.TransferTime(len(data))))
+	buf := data
+	if copyBuf {
+		buf = append([]byte(nil), data...) // buffered send: sender may reuse data
+	}
+	p.reqSeq++
+	env := &envelope{
+		ctx:    c.s.id,
+		src:    p.rank,
+		tag:    tag,
+		data:   buf,
+		arrive: end + vclock.Time(link.Latency),
+		seq:    p.reqSeq,
+	}
+	p.stats.BytesSent += int64(len(data))
+	p.stats.MsgsSent++
+	if tr := p.world.trace; tr != nil {
+		tr.add(TraceEvent{Rank: p.rank, Kind: EventSend, Start: sendStart, End: end, Peer: dstW, Bytes: len(data), Tag: tag})
+	}
+	p.world.deliver(dstW, env)
+	return end
+}
+
+// Send performs a blocking standard-mode send of data to the process with
+// communicator rank dst. The send buffers internally, so Send never waits
+// for a matching receive; the sender's clock advances by the message
+// overhead plus its interface's serialisation of the transfer.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	end := c.sendCommon(dst, tag, data, true)
+	c.p.clock.AbsorbAtLeast(end)
+}
+
+// SendOwned is Send without the defensive copy: the caller cedes ownership
+// of data and must not modify it afterwards. Use it on hot paths that send
+// many freshly built (or immutable) buffers.
+func (c *Comm) SendOwned(dst, tag int, data []byte) {
+	end := c.sendCommon(dst, tag, data, false)
+	c.p.clock.AbsorbAtLeast(end)
+}
+
+// Isend starts a non-blocking send. The sender's clock advances only by the
+// message overhead; the transfer occupies the interface in the background.
+// Wait on the returned request completes when the local buffer is reusable.
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	end := c.sendCommon(dst, tag, data, true)
+	return &Request{done: false, c: c, sendEnd: end}
+}
+
+// IsendOwned is Isend without the defensive copy; see SendOwned.
+func (c *Comm) IsendOwned(dst, tag int, data []byte) *Request {
+	end := c.sendCommon(dst, tag, data, false)
+	return &Request{done: false, c: c, sendEnd: end}
+}
+
+// matcher builds the predicate for a receive or probe on this
+// communicator.
+func (c *Comm) matcher(src, tag int) func(*envelope) bool {
+	var srcW int
+	if src != AnySource {
+		c.checkRank("Recv", src)
+		srcW = c.s.members[src]
+	}
+	ctx := c.s.id
+	return func(e *envelope) bool {
+		if e.ctx != ctx {
+			return false
+		}
+		if src != AnySource && e.src != srcW {
+			return false
+		}
+		if src == AnySource && c.s.rankOf(e.src) < 0 {
+			return false
+		}
+		if tag != AnyTag && e.tag != tag {
+			return false
+		}
+		return true
+	}
+}
+
+// failWatch returns the give-up predicate for a receive from src: if the
+// awaited sender fails while we are blocked, the receive aborts with a
+// *ProcessFailedError instead of hanging. AnySource receives cannot name a
+// single awaited sender; they abort only when every other member of the
+// communicator has failed.
+func (c *Comm) failWatch(src int) func() int {
+	w := c.p.world
+	if src == AnySource {
+		members := c.s.members
+		me := c.p.rank
+		return func() int {
+			failed := -1
+			for _, r := range members {
+				if r == me {
+					continue
+				}
+				if !w.IsFailed(r) {
+					return -1
+				}
+				failed = r
+			}
+			return failed
+		}
+	}
+	srcW := c.s.members[src]
+	return func() int {
+		if w.IsFailed(srcW) {
+			return srcW
+		}
+		return -1
+	}
+}
+
+// finishRecv applies timing and statistics for a consumed envelope. t0 is
+// the virtual time the receive was posted, used for tracing the waiting
+// interval.
+func (c *Comm) finishRecv(e *envelope, t0 vclock.Time) Status {
+	p := c.p
+	link := p.world.cluster.Link(p.world.place[e.src], p.machine)
+	p.clock.AbsorbAtLeast(e.arrive)
+	p.clock.Advance(vclock.Time(link.Overhead))
+	p.stats.BytesRecv += int64(len(e.data))
+	p.stats.MsgsRecv++
+	if tr := p.world.trace; tr != nil {
+		tr.add(TraceEvent{Rank: p.rank, Kind: EventRecv, Start: t0, End: p.clock.Now(), Peer: e.src, Bytes: len(e.data), Tag: e.tag})
+	}
+	return Status{Source: c.s.rankOf(e.src), Tag: e.tag, Bytes: len(e.data)}
+}
+
+// Recv blocks until a message from src with the given tag arrives (src may
+// be AnySource and tag AnyTag) and returns its payload. Messages between
+// one sender/receiver pair are non-overtaking.
+func (c *Comm) Recv(src, tag int) ([]byte, Status) {
+	t0 := c.p.clock.Now()
+	e := c.p.mbox.get(c.matcher(src, tag), c.failWatch(src))
+	st := c.finishRecv(e, t0)
+	return e.data, st
+}
+
+// Irecv starts a non-blocking receive; Wait performs the actual matching.
+func (c *Comm) Irecv(src, tag int) *Request {
+	if src != AnySource {
+		c.checkRank("Irecv", src)
+	}
+	return &Request{done: false, recv: true, c: c, src: src, tag: tag}
+}
+
+// Wait blocks until the request completes and returns the received payload
+// and status (both zero for send requests).
+func (r *Request) Wait() ([]byte, Status) {
+	if r.done {
+		return r.data, r.status
+	}
+	r.done = true
+	if r.recv {
+		t0 := r.c.p.clock.Now()
+		e := r.c.p.mbox.get(r.c.matcher(r.src, r.tag), r.c.failWatch(r.src))
+		r.status = r.c.finishRecv(e, t0)
+		r.data = e.data
+		return r.data, r.status
+	}
+	// Send request: the buffer was copied eagerly, so completion only
+	// waits for the interface.
+	r.c.p.clock.AbsorbAtLeast(r.sendEnd)
+	return nil, Status{}
+}
+
+// Test reports whether the request has completed, completing it if its
+// message is already available. For send requests Test reports whether the
+// interface has finished the transfer at the current virtual time.
+func (r *Request) Test() (bool, []byte, Status) {
+	if r.done {
+		return true, r.data, r.status
+	}
+	if r.recv {
+		e := r.c.p.mbox.tryGet(r.c.matcher(r.src, r.tag), false)
+		if e == nil {
+			return false, nil, Status{}
+		}
+		r.done = true
+		r.status = r.c.finishRecv(e, r.c.p.clock.Now())
+		r.data = e.data
+		return true, r.data, r.status
+	}
+	if r.c.p.clock.Now() >= r.sendEnd {
+		r.done = true
+		return true, nil, Status{}
+	}
+	return false, nil, Status{}
+}
+
+// WaitAll completes all requests, returning payloads in request order.
+func WaitAll(reqs []*Request) [][]byte {
+	out := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		out[i], _ = r.Wait()
+	}
+	return out
+}
+
+// WaitAny completes one of the requests — preferring one that is already
+// completable without blocking — and returns its index, payload and
+// status (MPI_Waitany). With no completable request it blocks on the
+// first pending one. Panics on an empty or fully-completed slice.
+func WaitAny(reqs []*Request) (int, []byte, Status) {
+	if len(reqs) == 0 {
+		panic("mpi: WaitAny with no requests")
+	}
+	pending := -1
+	for i, r := range reqs {
+		if r.done {
+			continue
+		}
+		if pending < 0 {
+			pending = i
+		}
+		if ok, data, st := r.Test(); ok {
+			return i, data, st
+		}
+	}
+	if pending < 0 {
+		panic("mpi: WaitAny with all requests already completed")
+	}
+	data, st := reqs[pending].Wait()
+	return pending, data, st
+}
+
+// Probe blocks until a matching message is available without receiving it.
+func (c *Comm) Probe(src, tag int) Status {
+	e := c.p.mbox.peek(c.matcher(src, tag), c.failWatch(src))
+	return Status{Source: c.s.rankOf(e.src), Tag: e.tag, Bytes: len(e.data)}
+}
+
+// Iprobe reports whether a matching message is available.
+func (c *Comm) Iprobe(src, tag int) (bool, Status) {
+	e := c.p.mbox.tryGet(c.matcher(src, tag), true)
+	if e == nil {
+		return false, Status{}
+	}
+	return true, Status{Source: c.s.rankOf(e.src), Tag: e.tag, Bytes: len(e.data)}
+}
+
+// Sendrecv sends to dst and receives from src in one combined operation,
+// overlapping the two transfers as MPI_Sendrecv does.
+func (c *Comm) Sendrecv(dst, sendTag int, data []byte, src, recvTag int) ([]byte, Status) {
+	sreq := c.Isend(dst, sendTag, data)
+	buf, st := c.Recv(src, recvTag)
+	sreq.Wait()
+	return buf, st
+}

@@ -1,0 +1,263 @@
+package mpi
+
+// Property-based tests: the collectives must agree with their obvious
+// serial reference semantics for arbitrary inputs and communicator sizes.
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// worldOf builds a world of n homogeneous processes.
+func worldOf(n int) *World {
+	c := testCluster(n)
+	return NewWorld(c, OneProcessPerMachine(c))
+}
+
+// TestAllreduceEqualsSerialFold: Allreduce(sum) equals the serial sum of
+// everyone's contributions, element-wise, for random vectors and sizes.
+func TestAllreduceEqualsSerialFold(t *testing.T) {
+	f := func(raw []int16, sizeRaw uint8) bool {
+		n := int(sizeRaw%6) + 2 // 2..7 processes
+		width := len(raw)%5 + 1 // 1..5 elements
+		contribs := make([][]int64, n)
+		want := make([]int64, width)
+		for r := 0; r < n; r++ {
+			contribs[r] = make([]int64, width)
+			for k := 0; k < width; k++ {
+				v := int64(0)
+				if len(raw) > 0 {
+					v = int64(raw[(r*width+k)%len(raw)])
+				}
+				contribs[r][k] = v
+				want[k] += v
+			}
+		}
+		w := worldOf(n)
+		ok := true
+		err := w.Run(func(p *Proc) error {
+			got := BytesInt64(p.CommWorld().Allreduce(Int64Bytes(contribs[p.Rank()]), SumInt64))
+			for k := range want {
+				if got[k] != want[k] {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlltoallIsTranspose: Alltoall is the transpose of the send matrix.
+func TestAlltoallIsTranspose(t *testing.T) {
+	f := func(seed uint32, sizeRaw uint8) bool {
+		n := int(sizeRaw%6) + 2
+		// parts[src][dst] = deterministic byte derived from seed.
+		cell := func(src, dst int) byte {
+			return byte(uint32(src*31+dst*7) ^ seed)
+		}
+		w := worldOf(n)
+		ok := true
+		err := w.Run(func(p *Proc) error {
+			comm := p.CommWorld()
+			parts := make([][]byte, n)
+			for dst := 0; dst < n; dst++ {
+				parts[dst] = []byte{cell(p.Rank(), dst)}
+			}
+			got := comm.Alltoall(parts)
+			for src := 0; src < n; src++ {
+				if got[src][0] != cell(src, p.Rank()) {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScanExscanConsistency: Scan(r) == op(Exscan(r), data(r)) for r > 0.
+func TestScanExscanConsistency(t *testing.T) {
+	f := func(raw []int16, sizeRaw uint8) bool {
+		n := int(sizeRaw%6) + 2
+		vals := make([]int64, n)
+		for r := 0; r < n; r++ {
+			if len(raw) > 0 {
+				vals[r] = int64(raw[r%len(raw)])
+			}
+		}
+		w := worldOf(n)
+		ok := true
+		err := w.Run(func(p *Proc) error {
+			comm := p.CommWorld()
+			mine := Int64Bytes([]int64{vals[p.Rank()]})
+			inc := BytesInt64(comm.Scan(mine, SumInt64))[0]
+			exc := comm.Exscan(mine, SumInt64)
+			if p.Rank() == 0 {
+				if exc != nil || inc != vals[0] {
+					ok = false
+				}
+				return nil
+			}
+			if BytesInt64(exc)[0]+vals[p.Rank()] != inc {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGatherScatterInverse: Scatter(Gather(x)) == x.
+func TestGatherScatterInverse(t *testing.T) {
+	f := func(seed uint32, sizeRaw uint8) bool {
+		n := int(sizeRaw%6) + 2
+		mine := func(r int) []byte {
+			out := make([]byte, r%3+1)
+			for i := range out {
+				out[i] = byte(uint32(r*13+i) ^ seed)
+			}
+			return out
+		}
+		w := worldOf(n)
+		ok := true
+		err := w.Run(func(p *Proc) error {
+			comm := p.CommWorld()
+			gathered := comm.Gather(0, mine(p.Rank()))
+			back := comm.Scatter(0, gathered)
+			want := mine(p.Rank())
+			if len(back) != len(want) {
+				ok = false
+				return nil
+			}
+			for i := range want {
+				if back[i] != want[i] {
+					ok = false
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDatatypeRoundTrips: the typed codecs are inverses.
+func TestDatatypeRoundTrips(t *testing.T) {
+	fFloat := func(xs []float64) bool {
+		got := BytesFloat64(Float64Bytes(xs))
+		if len(got) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			if got[i] != xs[i] && !(xs[i] != xs[i] && got[i] != got[i]) { // NaN-safe
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fFloat, nil); err != nil {
+		t.Fatal(err)
+	}
+	fInt := func(xs []int64) bool {
+		got := BytesInt64(Int64Bytes(xs))
+		if len(got) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			if got[i] != xs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fInt, nil); err != nil {
+		t.Fatal(err)
+	}
+	fInts := func(xs []int32) bool {
+		ints := make([]int, len(xs))
+		for i, v := range xs {
+			ints[i] = int(v)
+		}
+		got := BytesInts(IntsBytes(ints))
+		for i := range ints {
+			if got[i] != ints[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fInts, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReduceOpsAgainstReference checks each reduction operator on a
+// two-element combine against plain arithmetic.
+func TestReduceOpsAgainstReference(t *testing.T) {
+	fl := func(a, b float64) bool {
+		check := func(op Op, want float64) bool {
+			buf := Float64Bytes([]float64{a})
+			op(buf, Float64Bytes([]float64{b}))
+			got := BytesFloat64(buf)[0]
+			return got == want || (got != got && want != want)
+		}
+		maxv, minv := a, a
+		if b > maxv {
+			maxv = b
+		}
+		if b < minv {
+			minv = b
+		}
+		return check(SumFloat64, a+b) && check(ProdFloat64, a*b) &&
+			check(MaxFloat64, maxF(a, b)) && check(MinFloat64, minF(a, b)) || false ||
+			// NaN handling differs between compare and math.Max; accept both.
+			(a != a || b != b) || (check(MaxFloat64, maxv) && check(MinFloat64, minv))
+	}
+	if err := quick.Check(fl, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	il := func(a, b int64) bool {
+		check := func(op Op, want int64) bool {
+			buf := Int64Bytes([]int64{a})
+			op(buf, Int64Bytes([]int64{b}))
+			return BytesInt64(buf)[0] == want
+		}
+		maxv, minv := a, a
+		if b > maxv {
+			maxv = b
+		}
+		if b < minv {
+			minv = b
+		}
+		return check(SumInt64, a+b) && check(MaxInt64, maxv) && check(MinInt64, minv)
+	}
+	if err := quick.Check(il, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,209 @@
+package mpi
+
+// A real network transport: the same message-passing library running its
+// traffic over TCP sockets instead of in-process queues. Every process
+// opens a loopback listener; a full mesh of connections carries
+// length-prefixed binary frames. The virtual-time model is unchanged —
+// timestamps travel inside the frames — so a program produces identical
+// results and identical simulated times under either transport, which the
+// tests assert. This demonstrates that nothing in the library depends on
+// shared memory between processes; it is also the hook through which a
+// future multi-machine deployment would run.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+
+	"repro/internal/hnoc"
+	"repro/internal/vclock"
+)
+
+// frameHeaderLen is the fixed portion of a wire frame:
+// ctx, src, tag, seq (int64) + arrive (float64) + payload length (uint32).
+const frameHeaderLen = 8*5 + 4
+
+// tcpTransport carries envelopes over a loopback TCP mesh.
+type tcpTransport struct {
+	world *World
+
+	listeners []net.Listener
+	connMu    []sync.Mutex // per destination: serialises writers
+	conns     [][]net.Conn // conns[src][dst]
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+	once   sync.Once
+}
+
+// NewWorldTCP creates a world whose messages travel over real TCP
+// connections on the loopback interface. The returned close function must
+// be called after Run to release the sockets.
+func NewWorldTCP(cluster *hnoc.Cluster, placement []int) (*World, func() error, error) {
+	w := NewWorld(cluster, placement)
+	t := &tcpTransport{world: w, closed: make(chan struct{})}
+	n := len(placement)
+
+	// One listener per rank.
+	t.listeners = make([]net.Listener, n)
+	for r := 0; r < n; r++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, nil, fmt.Errorf("mpi: listen for rank %d: %w", r, err)
+		}
+		t.listeners[r] = ln
+	}
+
+	// Accept loops: each inbound connection self-identifies with its
+	// source rank in the first 8 bytes, then streams frames destined for
+	// the listener's rank.
+	accepted := make(chan error, n)
+	for r := 0; r < n; r++ {
+		go func(dst int) {
+			need := n - 1
+			if need == 0 {
+				accepted <- nil
+				return
+			}
+			for i := 0; i < need; i++ {
+				conn, err := t.listeners[dst].Accept()
+				if err != nil {
+					accepted <- err
+					return
+				}
+				var hdr [8]byte
+				if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+					accepted <- err
+					return
+				}
+				src := int(int64(binary.LittleEndian.Uint64(hdr[:])))
+				if src < 0 || src >= n {
+					accepted <- fmt.Errorf("mpi: bad source rank %d on wire", src)
+					return
+				}
+				t.wg.Add(1)
+				go t.pump(dst, src, conn)
+			}
+			accepted <- nil
+		}(r)
+	}
+
+	// Dial the mesh.
+	t.conns = make([][]net.Conn, n)
+	t.connMu = make([]sync.Mutex, n*n)
+	for src := 0; src < n; src++ {
+		t.conns[src] = make([]net.Conn, n)
+		for dst := 0; dst < n; dst++ {
+			if dst == src {
+				continue
+			}
+			conn, err := net.Dial("tcp", t.listeners[dst].Addr().String())
+			if err != nil {
+				t.Close()
+				return nil, nil, fmt.Errorf("mpi: dial %d->%d: %w", src, dst, err)
+			}
+			var hdr [8]byte
+			binary.LittleEndian.PutUint64(hdr[:], uint64(int64(src)))
+			if _, err := conn.Write(hdr[:]); err != nil {
+				t.Close()
+				return nil, nil, err
+			}
+			t.conns[src][dst] = conn
+		}
+	}
+	for r := 0; r < n; r++ {
+		if err := <-accepted; err != nil {
+			t.Close()
+			return nil, nil, err
+		}
+	}
+
+	w.deliver = t.deliver
+	return w, t.Close, nil
+}
+
+// deliver frames the envelope onto the src->dst connection.
+func (t *tcpTransport) deliver(dst int, e *envelope) {
+	if e.src == dst {
+		// Self-delivery has no wire.
+		t.world.procs[dst].mbox.put(e)
+		return
+	}
+	n := len(t.world.procs)
+	mu := &t.connMu[e.src*n+dst]
+	conn := t.conns[e.src][dst]
+
+	buf := make([]byte, frameHeaderLen+len(e.data))
+	binary.LittleEndian.PutUint64(buf[0:], uint64(e.ctx))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(int64(e.src)))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(int64(e.tag)))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(e.seq))
+	binary.LittleEndian.PutUint64(buf[32:], math.Float64bits(float64(e.arrive)))
+	binary.LittleEndian.PutUint32(buf[40:], uint32(len(e.data)))
+	copy(buf[frameHeaderLen:], e.data)
+
+	mu.Lock()
+	_, err := conn.Write(buf)
+	mu.Unlock()
+	if err != nil {
+		// The peer is gone (failure injection closes sockets): the
+		// message disappears, exactly like the in-process path's
+		// delivery to a closed mailbox.
+		return
+	}
+}
+
+// pump decodes frames from one connection into the destination mailbox.
+func (t *tcpTransport) pump(dst, src int, conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	hdr := make([]byte, frameHeaderLen)
+	for {
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			return // connection closed
+		}
+		e := &envelope{
+			ctx:    int64(binary.LittleEndian.Uint64(hdr[0:])),
+			src:    int(int64(binary.LittleEndian.Uint64(hdr[8:]))),
+			tag:    int(int64(binary.LittleEndian.Uint64(hdr[16:]))),
+			seq:    int64(binary.LittleEndian.Uint64(hdr[24:])),
+			arrive: vclock.Time(math.Float64frombits(binary.LittleEndian.Uint64(hdr[32:]))),
+		}
+		size := binary.LittleEndian.Uint32(hdr[40:])
+		if size > 0 {
+			e.data = make([]byte, size)
+			if _, err := io.ReadFull(conn, e.data); err != nil {
+				return
+			}
+		}
+		if e.src != src {
+			return // protocol violation; drop the connection
+		}
+		t.world.procs[dst].mbox.put(e)
+	}
+}
+
+// Close tears the mesh down.
+func (t *tcpTransport) Close() error {
+	t.once.Do(func() {
+		close(t.closed)
+		for _, ln := range t.listeners {
+			if ln != nil {
+				ln.Close()
+			}
+		}
+		for _, row := range t.conns {
+			for _, c := range row {
+				if c != nil {
+					c.Close()
+				}
+			}
+		}
+	})
+	t.wg.Wait()
+	return nil
+}

@@ -1,0 +1,136 @@
+package mpi
+
+import "fmt"
+
+// Cartesian process topologies (MPI_Cart_create and friends): a structured
+// view of a communicator as an n-dimensional grid, the abstraction the
+// matrix-multiplication application's m×m processor grid is built on.
+
+// CartComm is a communicator with an attached Cartesian topology.
+type CartComm struct {
+	*Comm
+	dims     []int
+	periodic []bool
+}
+
+// CartCreate attaches a Cartesian topology to the communicator
+// (MPI_Cart_create with reorder=false): the product of dims must not
+// exceed the communicator size; processes with rank >= product receive
+// nil, the others a CartComm. Collective in MPI; here the topology is
+// derived locally from the communicator, so no communication is needed —
+// but all members must still call it with equal arguments, as in MPI.
+func (c *Comm) CartCreate(dims []int, periodic []bool) *CartComm {
+	if len(dims) == 0 {
+		panic("mpi: CartCreate with no dimensions")
+	}
+	if len(periodic) != len(dims) {
+		panic(fmt.Sprintf("mpi: CartCreate got %d periodicity flags for %d dims", len(periodic), len(dims)))
+	}
+	total := 1
+	for _, d := range dims {
+		if d <= 0 {
+			panic(fmt.Sprintf("mpi: CartCreate dimension %d not positive", d))
+		}
+		total *= d
+	}
+	if total > c.Size() {
+		panic(fmt.Sprintf("mpi: CartCreate grid of %d processes on a communicator of %d", total, c.Size()))
+	}
+	sub := c.Split(boolToColor(c.Rank() < total), c.Rank())
+	if c.Rank() >= total {
+		return nil
+	}
+	return &CartComm{
+		Comm:     sub,
+		dims:     append([]int(nil), dims...),
+		periodic: append([]bool(nil), periodic...),
+	}
+}
+
+func boolToColor(b bool) int {
+	if b {
+		return 1
+	}
+	return Undefined
+}
+
+// Dims returns the grid extents.
+func (cc *CartComm) Dims() []int { return append([]int(nil), cc.dims...) }
+
+// Coords returns the Cartesian coordinates of the given rank
+// (MPI_Cart_coords; row-major, first dimension slowest).
+func (cc *CartComm) Coords(rank int) []int {
+	cc.checkRank("Coords", rank)
+	out := make([]int, len(cc.dims))
+	rem := rank
+	for i := len(cc.dims) - 1; i >= 0; i-- {
+		out[i] = rem % cc.dims[i]
+		rem /= cc.dims[i]
+	}
+	return out
+}
+
+// RankOf returns the rank at the given coordinates (MPI_Cart_rank).
+// Periodic dimensions wrap; out-of-range coordinates on non-periodic
+// dimensions return -1 (MPI_PROC_NULL).
+func (cc *CartComm) RankOf(coords []int) int {
+	if len(coords) != len(cc.dims) {
+		panic(fmt.Sprintf("mpi: RankOf got %d coordinates for %d dims", len(coords), len(cc.dims)))
+	}
+	rank := 0
+	for i, c := range coords {
+		d := cc.dims[i]
+		if cc.periodic[i] {
+			c = ((c % d) + d) % d
+		} else if c < 0 || c >= d {
+			return -1
+		}
+		rank = rank*d + c
+	}
+	return rank
+}
+
+// Shift returns the source and destination ranks for a displacement along
+// one dimension (MPI_Cart_shift): src is the neighbour the caller would
+// receive from, dst the one it would send to. Either is -1 off a
+// non-periodic edge.
+func (cc *CartComm) Shift(dim, disp int) (src, dst int) {
+	if dim < 0 || dim >= len(cc.dims) {
+		panic(fmt.Sprintf("mpi: Shift dimension %d out of range", dim))
+	}
+	me := cc.Coords(cc.Rank())
+	up := append([]int(nil), me...)
+	up[dim] += disp
+	down := append([]int(nil), me...)
+	down[dim] -= disp
+	return cc.RankOf(down), cc.RankOf(up)
+}
+
+// Sub builds lower-dimensional subgrids (MPI_Cart_sub): keep[i] marks the
+// dimensions retained; processes sharing the dropped coordinates form one
+// subgrid communicator. Collective over the Cartesian communicator.
+func (cc *CartComm) Sub(keep []bool) *CartComm {
+	if len(keep) != len(cc.dims) {
+		panic(fmt.Sprintf("mpi: Sub got %d flags for %d dims", len(keep), len(cc.dims)))
+	}
+	me := cc.Coords(cc.Rank())
+	color := 0
+	key := 0
+	var newDims []int
+	var newPeriodic []bool
+	for i := range cc.dims {
+		if keep[i] {
+			key = key*cc.dims[i] + me[i]
+			newDims = append(newDims, cc.dims[i])
+			newPeriodic = append(newPeriodic, cc.periodic[i])
+		} else {
+			color = color*cc.dims[i] + me[i]
+		}
+	}
+	if len(newDims) == 0 {
+		newDims = []int{1}
+		newPeriodic = []bool{false}
+	}
+	sub := cc.Split(color, key)
+	return &CartComm{Comm: sub, dims: newDims, periodic: newPeriodic}
+}

@@ -1,0 +1,117 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCartCreateShape(t *testing.T) {
+	w := newTestWorld(t, 7) // 2x3 grid on 7 processes: one left over
+	runWorld(t, w, func(p *Proc) error {
+		cart := p.CommWorld().CartCreate([]int{2, 3}, []bool{false, true})
+		if p.Rank() == 6 {
+			if cart != nil {
+				return fmt.Errorf("excess process got a grid")
+			}
+			return nil
+		}
+		if cart == nil {
+			return fmt.Errorf("rank %d got nil grid", p.Rank())
+		}
+		if cart.Size() != 6 {
+			return fmt.Errorf("grid size %d", cart.Size())
+		}
+		got := cart.Dims()
+		if got[0] != 2 || got[1] != 3 {
+			return fmt.Errorf("dims %v", got)
+		}
+		// Row-major coordinates.
+		coords := cart.Coords(cart.Rank())
+		if want := []int{cart.Rank() / 3, cart.Rank() % 3}; coords[0] != want[0] || coords[1] != want[1] {
+			return fmt.Errorf("rank %d coords %v, want %v", cart.Rank(), coords, want)
+		}
+		// Round trip.
+		if cart.RankOf(coords) != cart.Rank() {
+			return fmt.Errorf("RankOf(Coords) != rank")
+		}
+		return nil
+	})
+}
+
+func TestCartShift(t *testing.T) {
+	w := newTestWorld(t, 6)
+	runWorld(t, w, func(p *Proc) error {
+		cart := p.CommWorld().CartCreate([]int{2, 3}, []bool{false, true})
+		i, j := cart.Rank()/3, cart.Rank()%3
+		// Dimension 0 is non-periodic: shifts fall off the edges.
+		src, dst := cart.Shift(0, 1)
+		wantDst := -1
+		if i+1 < 2 {
+			wantDst = (i+1)*3 + j
+		}
+		wantSrc := -1
+		if i-1 >= 0 {
+			wantSrc = (i-1)*3 + j
+		}
+		if src != wantSrc || dst != wantDst {
+			return fmt.Errorf("rank %d dim0 shift = (%d,%d), want (%d,%d)", cart.Rank(), src, dst, wantSrc, wantDst)
+		}
+		// Dimension 1 is periodic: shifts wrap.
+		src, dst = cart.Shift(1, 1)
+		if dst != i*3+(j+1)%3 || src != i*3+(j+2)%3 {
+			return fmt.Errorf("rank %d dim1 shift = (%d,%d)", cart.Rank(), src, dst)
+		}
+		return nil
+	})
+}
+
+func TestCartNeighbourExchange(t *testing.T) {
+	// A periodic ring exchange along dimension 1 using Shift.
+	w := newTestWorld(t, 6)
+	runWorld(t, w, func(p *Proc) error {
+		cart := p.CommWorld().CartCreate([]int{2, 3}, []bool{false, true})
+		src, dst := cart.Shift(1, 1)
+		data, _ := cart.Sendrecv(dst, 0, []byte{byte(cart.Rank())}, src, 0)
+		if int(data[0]) != src {
+			return fmt.Errorf("rank %d received from %d, want %d", cart.Rank(), data[0], src)
+		}
+		return nil
+	})
+}
+
+func TestCartSubRowsAndColumns(t *testing.T) {
+	// Split a 2x3 grid into row communicators and column communicators —
+	// the idiom the MM algorithm's broadcasts are built on.
+	w := newTestWorld(t, 6)
+	runWorld(t, w, func(p *Proc) error {
+		cart := p.CommWorld().CartCreate([]int{2, 3}, []bool{false, false})
+		i, j := cart.Rank()/3, cart.Rank()%3
+
+		rows := cart.Sub([]bool{false, true}) // keep dim 1: row comms
+		if rows.Size() != 3 || rows.Rank() != j {
+			return fmt.Errorf("row comm size %d rank %d, want 3 %d", rows.Size(), rows.Rank(), j)
+		}
+		cols := cart.Sub([]bool{true, false}) // keep dim 0: column comms
+		if cols.Size() != 2 || cols.Rank() != i {
+			return fmt.Errorf("col comm size %d rank %d, want 2 %d", cols.Size(), cols.Rank(), i)
+		}
+		// A broadcast along each row reaches exactly the row.
+		got := rows.Bcast(0, []byte{byte(i*10 + 1)})
+		if got[0] != byte(i*10+1) {
+			return fmt.Errorf("row bcast leaked across rows: %v", got)
+		}
+		return nil
+	})
+}
+
+func TestCartValidation(t *testing.T) {
+	w := newTestWorld(t, 4)
+	err := w.Run(func(p *Proc) error {
+		defer func() { recover() }()
+		p.CommWorld().CartCreate([]int{5}, []bool{false}) // 5 > 4
+		return fmt.Errorf("oversized grid accepted")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

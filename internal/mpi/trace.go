@@ -1,0 +1,134 @@
+package mpi
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/vclock"
+)
+
+// Execution tracing: an optional recorder of per-process activity
+// intervals in virtual time. Traces make the behaviour of a group visible
+// — where the slow machine stalls its neighbours, how collectives fan out
+// — and back the Gantt view of `hmpirun -trace`.
+
+// EventKind classifies trace events.
+type EventKind string
+
+// Event kinds.
+const (
+	EventCompute EventKind = "compute"
+	EventSend    EventKind = "send"
+	EventRecv    EventKind = "recv"
+)
+
+// TraceEvent is one activity interval of one process.
+type TraceEvent struct {
+	Rank  int
+	Kind  EventKind
+	Start vclock.Time
+	End   vclock.Time
+	Peer  int // communication partner (world rank), -1 for compute
+	Bytes int
+	Tag   int
+}
+
+// Trace collects events from all processes of a world.
+type Trace struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// EnableTracing attaches a recorder to the world and returns it. Call
+// before Run.
+func (w *World) EnableTracing() *Trace {
+	tr := &Trace{}
+	w.trace = tr
+	return tr
+}
+
+func (tr *Trace) add(e TraceEvent) {
+	tr.mu.Lock()
+	tr.events = append(tr.events, e)
+	tr.mu.Unlock()
+}
+
+// Events returns the recorded events sorted by start time (rank breaks
+// ties).
+func (tr *Trace) Events() []TraceEvent {
+	tr.mu.Lock()
+	out := append([]TraceEvent(nil), tr.events...)
+	tr.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+// Summary aggregates per-rank busy time by kind.
+func (tr *Trace) Summary(numRanks int) map[EventKind][]float64 {
+	out := map[EventKind][]float64{
+		EventCompute: make([]float64, numRanks),
+		EventSend:    make([]float64, numRanks),
+		EventRecv:    make([]float64, numRanks),
+	}
+	for _, e := range tr.Events() {
+		out[e.Kind][e.Rank] += float64(e.End - e.Start)
+	}
+	return out
+}
+
+// Gantt renders a text timeline: one row per rank, `width` columns across
+// the makespan; c = computing, s = sending, r = receiving (waiting
+// included), . = idle. Overlapping activities favour compute > send >
+// recv.
+func (tr *Trace) Gantt(w io.Writer, numRanks, width int) error {
+	events := tr.Events()
+	var makespan vclock.Time
+	for _, e := range events {
+		if e.End > makespan {
+			makespan = e.End
+		}
+	}
+	if makespan == 0 || width <= 0 {
+		_, err := fmt.Fprintln(w, "(no activity)")
+		return err
+	}
+	rows := make([][]byte, numRanks)
+	for r := range rows {
+		rows[r] = []byte(strings.Repeat(".", width))
+	}
+	glyph := map[EventKind]byte{EventCompute: 'c', EventSend: 's', EventRecv: 'r'}
+	rank3 := map[byte]int{'c': 3, 's': 2, 'r': 1, '.': 0}
+	for _, e := range events {
+		lo := int(float64(e.Start) / float64(makespan) * float64(width))
+		hi := int(float64(e.End) / float64(makespan) * float64(width))
+		if hi == lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		g := glyph[e.Kind]
+		for i := lo; i < hi; i++ {
+			if rank3[g] > rank3[rows[e.Rank][i]] {
+				rows[e.Rank][i] = g
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "virtual time 0 .. %.4gs  (c=compute s=send r=recv/wait .=idle)\n", float64(makespan)); err != nil {
+		return err
+	}
+	for r, row := range rows {
+		if _, err := fmt.Fprintf(w, "rank %2d |%s|\n", r, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

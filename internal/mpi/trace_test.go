@@ -1,0 +1,115 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceRecordsActivity(t *testing.T) {
+	w := newTestWorld(t, 2)
+	tr := w.EnableTracing()
+	runWorld(t, w, func(p *Proc) error {
+		comm := p.CommWorld()
+		if p.Rank() == 0 {
+			p.Compute(10)
+			comm.Send(1, 5, make([]byte, 1000))
+		} else {
+			comm.Recv(0, 5)
+		}
+		return nil
+	})
+	events := tr.Events()
+	var compute, send, recv int
+	for _, e := range events {
+		switch e.Kind {
+		case EventCompute:
+			compute++
+			if e.Rank != 0 || e.End-e.Start <= 0 {
+				t.Errorf("bad compute event %+v", e)
+			}
+		case EventSend:
+			send++
+			if e.Peer != 1 || e.Bytes != 1000 || e.Tag != 5 {
+				t.Errorf("bad send event %+v", e)
+			}
+		case EventRecv:
+			recv++
+			if e.Rank != 1 || e.Peer != 0 {
+				t.Errorf("bad recv event %+v", e)
+			}
+		}
+	}
+	if compute != 1 || send != 1 || recv != 1 {
+		t.Fatalf("event counts: compute %d send %d recv %d", compute, send, recv)
+	}
+	// Events are sorted by start time.
+	for i := 1; i < len(events); i++ {
+		if events[i].Start < events[i-1].Start {
+			t.Fatal("events not sorted")
+		}
+	}
+}
+
+func TestTraceSummary(t *testing.T) {
+	w := newTestWorld(t, 2)
+	tr := w.EnableTracing()
+	runWorld(t, w, func(p *Proc) error {
+		if p.Rank() == 0 {
+			p.Compute(10) // 1 s on machine 0 (speed 10)
+			p.Compute(10)
+		}
+		return nil
+	})
+	sum := tr.Summary(2)
+	if got := sum[EventCompute][0]; got != 2 {
+		t.Fatalf("compute time rank 0 = %v, want 2", got)
+	}
+	if got := sum[EventCompute][1]; got != 0 {
+		t.Fatalf("compute time rank 1 = %v, want 0", got)
+	}
+}
+
+func TestTraceGantt(t *testing.T) {
+	w := newTestWorld(t, 2)
+	tr := w.EnableTracing()
+	runWorld(t, w, func(p *Proc) error {
+		comm := p.CommWorld()
+		if p.Rank() == 0 {
+			p.Compute(100)
+			comm.Send(1, 0, make([]byte, 500_000))
+		} else {
+			comm.Recv(0, 0)
+			p.Compute(50)
+		}
+		return nil
+	})
+	var sb strings.Builder
+	if err := tr.Gantt(&sb, 2, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "rank  0 |") || !strings.Contains(out, "rank  1 |") {
+		t.Fatalf("gantt missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "c") || !strings.Contains(out, "r") {
+		t.Fatalf("gantt missing glyphs:\n%s", out)
+	}
+	// Rank 1 waits (r) while rank 0 computes (c): the first column of
+	// rank 0 must be 'c'.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	row0 := lines[1][strings.Index(lines[1], "|")+1:]
+	if row0[0] != 'c' {
+		t.Fatalf("rank 0 row starts with %q:\n%s", row0[0], out)
+	}
+}
+
+func TestTraceGanttEmpty(t *testing.T) {
+	tr := &Trace{}
+	var sb strings.Builder
+	if err := tr.Gantt(&sb, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no activity") {
+		t.Fatalf("empty gantt: %q", sb.String())
+	}
+}

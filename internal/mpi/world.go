@@ -1,0 +1,323 @@
+// Package mpi is a message-passing library in the spirit of MPI-1,
+// implemented in pure Go. Processes run as goroutines inside one address
+// space; every process carries a virtual clock that is charged for
+// computation (according to the speed and external load of the machine the
+// process is placed on) and for communication (according to the latency,
+// bandwidth and protocol of the link between the two machines involved).
+//
+// The library provides the MPI features the HMPI runtime is layered on:
+// groups with the full set of constructors (include/exclude/range/set
+// operations), communicators with context-based message isolation,
+// point-to-point operations with tag and source wildcards and non-blocking
+// variants, and the classic collectives.
+//
+// Timing model (LogGP-flavoured, switched network):
+//
+//   - Compute(v) on process p advances p's clock by the time machine(p)
+//     needs for v benchmark units under its external load profile.
+//   - Send of n bytes charges the sender o + n/B (overhead plus
+//     store-and-forward serialisation on the sender's interface, which
+//     transmits one message at a time); the message arrives at
+//     sendEnd + L. Isend charges only o; the transfer occupies the
+//     interface in the background.
+//   - Recv blocks until a matching message exists, moves the receiver's
+//     clock to at least the arrival time, and charges o.
+//   - Distinct machine pairs transfer in parallel (switched Ethernet); a
+//     single machine's interface serialises its outgoing transfers.
+//
+// Clocks interact only through messages, so no global event queue is
+// needed and the simulation parallelises across real OS threads.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/hnoc"
+	"repro/internal/vclock"
+)
+
+// World is one parallel run: a set of processes placed on the machines of a
+// cluster. Create it with NewWorld, execute a program with Run.
+type World struct {
+	cluster *hnoc.Cluster
+	place   []int // world rank -> machine index
+	procs   []*Proc
+
+	ctxMu   sync.Mutex
+	nextCtx int64
+	ctxTab  map[ctxKey]int64
+
+	failedMu sync.RWMutex
+	failed   map[int]bool // world ranks marked failed (fault injection)
+
+	// deliver routes an envelope to a destination's mailbox. The default
+	// is the in-process path; NewWorldTCP substitutes a real network
+	// transport.
+	deliver func(dst int, e *envelope)
+
+	// trace, when non-nil, records per-process activity intervals.
+	trace *Trace
+}
+
+type ctxKey struct {
+	parent int64
+	seq    int64
+}
+
+// NewWorld creates a world of len(placement) processes; placement[r] is the
+// machine index (into cluster.Machines) that process r runs on. Several
+// processes may share a machine. NewWorld panics on invalid placement;
+// configuration errors in the cluster surface via Cluster.Validate, which
+// callers should run first.
+func NewWorld(cluster *hnoc.Cluster, placement []int) *World {
+	if len(placement) == 0 {
+		panic("mpi: empty placement")
+	}
+	for r, m := range placement {
+		if m < 0 || m >= cluster.Size() {
+			panic(fmt.Sprintf("mpi: placement[%d] = %d out of range [0,%d)", r, m, cluster.Size()))
+		}
+	}
+	w := &World{
+		cluster: cluster,
+		place:   append([]int(nil), placement...),
+		nextCtx: 1,
+		ctxTab:  make(map[ctxKey]int64),
+		failed:  make(map[int]bool),
+	}
+	for r := range placement {
+		w.procs = append(w.procs, newProc(w, r))
+	}
+	w.deliver = func(dst int, e *envelope) { w.procs[dst].mbox.put(e) }
+	return w
+}
+
+// OneProcessPerMachine builds the placement the paper assumes: process r on
+// machine r.
+func OneProcessPerMachine(cluster *hnoc.Cluster) []int {
+	place := make([]int, cluster.Size())
+	for i := range place {
+		place[i] = i
+	}
+	return place
+}
+
+// Size returns the number of processes in the world.
+func (w *World) Size() int { return len(w.procs) }
+
+// Cluster returns the cluster the world runs on.
+func (w *World) Cluster() *hnoc.Cluster { return w.cluster }
+
+// MachineOf returns the machine index process rank runs on.
+func (w *World) MachineOf(rank int) int { return w.place[rank] }
+
+// Placement returns a copy of the rank-to-machine map.
+func (w *World) Placement() []int { return append([]int(nil), w.place...) }
+
+// contextStride is the id space reserved per allocation: a Split derives
+// one sub-context per color from its base id, so the base ids of distinct
+// allocations must be at least the maximum color count apart.
+const contextStride = 1 << 24
+
+// allocContext returns the base context id for the seq'th derived
+// communicator of parent. All members of a collective call compute the same
+// (parent, seq) key, so they all receive the same id; the first caller
+// allocates.
+func (w *World) allocContext(parent, seq int64) int64 {
+	w.ctxMu.Lock()
+	defer w.ctxMu.Unlock()
+	k := ctxKey{parent, seq}
+	if id, ok := w.ctxTab[k]; ok {
+		return id
+	}
+	w.nextCtx += contextStride
+	w.ctxTab[k] = w.nextCtx
+	return w.nextCtx
+}
+
+// Fail marks a process as failed (fault-tolerance extension): subsequent
+// communication with it panics with a *ProcessFailedError, which Run
+// converts into an error return on the communicating process.
+func (w *World) Fail(rank int) {
+	w.failedMu.Lock()
+	w.failed[rank] = true
+	w.failedMu.Unlock()
+	w.procs[rank].mbox.close()
+	// Wake every blocked receiver so it can notice the failure.
+	for _, p := range w.procs {
+		p.mbox.notify()
+	}
+}
+
+// IsFailed reports whether a world rank has been failed.
+func (w *World) IsFailed(rank int) bool {
+	w.failedMu.RLock()
+	defer w.failedMu.RUnlock()
+	return w.failed[rank]
+}
+
+// ProcessFailedError reports communication with a failed process.
+type ProcessFailedError struct {
+	Rank int // world rank of the failed process
+}
+
+func (e *ProcessFailedError) Error() string {
+	return fmt.Sprintf("mpi: process %d has failed", e.Rank)
+}
+
+// Run executes main on every process of the world concurrently and waits
+// for all of them. It returns the first error returned by any process
+// (panics inside a process, including communication with failed processes,
+// are recovered and reported as errors). Run may be called once per World.
+func (w *World) Run(main func(p *Proc) error) error {
+	errs := make([]error, len(w.procs))
+	var wg sync.WaitGroup
+	for _, p := range w.procs {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if pf, ok := r.(*ProcessFailedError); ok {
+						errs[p.rank] = pf
+						return
+					}
+					errs[p.rank] = fmt.Errorf("mpi: process %d panicked: %v", p.rank, r)
+				}
+			}()
+			errs[p.rank] = main(p)
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Makespan returns the maximum final virtual clock across processes: the
+// simulated execution time of the run. Call after Run returns.
+func (w *World) Makespan() vclock.Time {
+	var max vclock.Time
+	for _, p := range w.procs {
+		if t := p.clock.Now(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// MakespanOf returns the maximum final clock over the given world ranks.
+func (w *World) MakespanOf(ranks []int) vclock.Time {
+	var max vclock.Time
+	for _, r := range ranks {
+		if t := w.procs[r].clock.Now(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Stats aggregates the per-process statistics of the run.
+func (w *World) Stats() []Stats {
+	out := make([]Stats, len(w.procs))
+	for i, p := range w.procs {
+		out[i] = p.stats
+	}
+	return out
+}
+
+// Proc is the per-process handle: the view one simulated process has of the
+// world. It is the receiver of all communication operations through the
+// communicators derived from it. A Proc is confined to the goroutine Run
+// started for it.
+type Proc struct {
+	world   *World
+	rank    int
+	machine int
+	clock   vclock.Clock
+	nicOut  vclock.NIC
+	mbox    mailbox
+	stats   Stats
+
+	commWorld *Comm
+	reqSeq    int64
+}
+
+// Stats counts the work a process performed.
+type Stats struct {
+	ComputeUnits float64     // benchmark units executed
+	ComputeTime  vclock.Time // virtual seconds spent computing
+	BytesSent    int64
+	BytesRecv    int64
+	MsgsSent     int64
+	MsgsRecv     int64
+}
+
+func newProc(w *World, rank int) *Proc {
+	p := &Proc{world: w, rank: rank, machine: w.place[rank]}
+	p.mbox.init()
+	p.mbox.owner = rank
+	return p
+}
+
+// Rank returns the process's world rank.
+func (p *Proc) Rank() int { return p.rank }
+
+// WorldSize returns the number of processes in the world.
+func (p *Proc) WorldSize() int { return p.world.Size() }
+
+// World returns the world the process belongs to.
+func (p *Proc) World() *World { return p.world }
+
+// Machine returns the index of the machine the process runs on.
+func (p *Proc) Machine() int { return p.machine }
+
+// Now returns the process's current virtual time.
+func (p *Proc) Now() vclock.Time { return p.clock.Now() }
+
+// Stats returns the process's work counters so far.
+func (p *Proc) Stats() Stats { return p.stats }
+
+// Compute advances the process's virtual clock by the time its machine
+// needs to execute `units` benchmark units of computation, honouring the
+// machine's external load profile. It is the hook through which
+// applications report their computation volume to the simulation.
+func (p *Proc) Compute(units float64) {
+	if units < 0 {
+		panic(fmt.Sprintf("mpi: negative compute volume %v", units))
+	}
+	if units == 0 {
+		return
+	}
+	m := &p.world.cluster.Machines[p.machine]
+	start := p.clock.Now()
+	end := vclock.Time(m.ComputeFinish(float64(start), units))
+	p.clock.Set(end)
+	p.stats.ComputeUnits += units
+	p.stats.ComputeTime += end - start
+	if tr := p.world.trace; tr != nil {
+		tr.add(TraceEvent{Rank: p.rank, Kind: EventCompute, Start: start, End: end, Peer: -1})
+	}
+}
+
+// CommWorld returns the communicator spanning all processes, the analogue
+// of MPI_COMM_WORLD. Within HMPI programs it backs HMPI_COMM_WORLD.
+func (p *Proc) CommWorld() *Comm {
+	if p.commWorld == nil {
+		members := make([]int, p.world.Size())
+		for i := range members {
+			members[i] = i
+		}
+		p.commWorld = &Comm{
+			p:     p,
+			s:     &commShared{id: 0, members: members},
+			rank:  p.rank,
+			group: &Group{ranks: members},
+		}
+	}
+	return p.commWorld
+}

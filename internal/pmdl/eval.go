@@ -1,0 +1,293 @@
+package pmdl
+
+// Expression evaluation and lvalue resolution.
+
+// interp carries the static context of an evaluation: struct definitions
+// and host functions.
+type interp struct {
+	structs map[string]*StructDef
+	hosts   map[string]HostFunc
+	// floatDiv makes / produce real quotients even between ints. It is
+	// enabled while evaluating the percentage expression of a %% action:
+	// the published models write percentages like (100/n), which under C
+	// integer semantics would collapse to 0 for n > 100 — the mpC
+	// runtime the paper builds on evaluates them as doubles.
+	floatDiv bool
+}
+
+// lvalue resolves an expression to an assignable cell.
+func (it *interp) lvalue(e Expr, env *env) (*Cell, error) {
+	switch x := e.(type) {
+	case *Ident:
+		c, ok := env.lookup(x.Name)
+		if !ok {
+			return nil, errf(x.Pos, "undefined name %q", x.Name)
+		}
+		return c, nil
+	case *MemberExpr:
+		base, err := it.eval(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		s, ok := base.(*StructVal)
+		if !ok {
+			return nil, errf(x.Pos, "member access on non-struct value")
+		}
+		c, ok := s.Fields[x.Name]
+		if !ok {
+			return nil, errf(x.Pos, "struct %s has no field %q", s.Type, x.Name)
+		}
+		return c, nil
+	case *IndexExpr:
+		base, err := it.eval(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		arr, ok := base.(*ArrayVal)
+		if !ok {
+			return nil, errf(x.Pos, "indexing a non-array value")
+		}
+		iv, err := it.eval(x.Idx, env)
+		if err != nil {
+			return nil, err
+		}
+		i, err := asInt(x.Pos, iv)
+		if err != nil {
+			return nil, err
+		}
+		sub, cell, err := arr.index(x.Pos, i)
+		if err != nil {
+			return nil, err
+		}
+		if cell != nil {
+			return cell, nil
+		}
+		// A sub-array is not an assignable scalar; wrap it so reads
+		// work but writes fail cleanly.
+		return &Cell{V: sub}, nil
+	default:
+		return nil, errf(exprPos(e), "expression is not assignable")
+	}
+}
+
+// eval evaluates an expression to a value.
+func (it *interp) eval(e Expr, env *env) (Value, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return IntVal(x.Value), nil
+	case *FloatLit:
+		return DoubleVal(x.Value), nil
+	case *SizeofExpr:
+		if x.Type.Kind == TypeDouble {
+			return IntVal(8), nil
+		}
+		return IntVal(4), nil
+	case *Ident:
+		c, ok := env.lookup(x.Name)
+		if !ok {
+			return nil, errf(x.Pos, "undefined name %q", x.Name)
+		}
+		return c.V, nil
+	case *MemberExpr, *IndexExpr:
+		c, err := it.lvalue(e, env)
+		if err != nil {
+			return nil, err
+		}
+		return c.V, nil
+	case *UnaryExpr:
+		switch x.Op {
+		case TokAmp:
+			c, err := it.lvalue(x.X, env)
+			if err != nil {
+				return nil, err
+			}
+			return RefVal{Cell: c}, nil
+		case TokMinus:
+			v, err := it.eval(x.X, env)
+			if err != nil {
+				return nil, err
+			}
+			switch n := v.(type) {
+			case IntVal:
+				return IntVal(-n), nil
+			case DoubleVal:
+				return DoubleVal(-n), nil
+			}
+			return nil, errf(x.Pos, "unary - on non-numeric value")
+		case TokNot:
+			v, err := it.eval(x.X, env)
+			if err != nil {
+				return nil, err
+			}
+			b, err := isTruthy(x.Pos, v)
+			if err != nil {
+				return nil, err
+			}
+			return boolVal(!b), nil
+		}
+		return nil, errf(x.Pos, "invalid unary operator %s", x.Op)
+	case *BinaryExpr:
+		if x.Op == TokAndAnd || x.Op == TokOrOr {
+			l, err := it.eval(x.X, env)
+			if err != nil {
+				return nil, err
+			}
+			lb, err := isTruthy(x.Pos, l)
+			if err != nil {
+				return nil, err
+			}
+			if x.Op == TokAndAnd && !lb {
+				return IntVal(0), nil
+			}
+			if x.Op == TokOrOr && lb {
+				return IntVal(1), nil
+			}
+			r, err := it.eval(x.Y, env)
+			if err != nil {
+				return nil, err
+			}
+			rb, err := isTruthy(x.Pos, r)
+			if err != nil {
+				return nil, err
+			}
+			return boolVal(rb), nil
+		}
+		l, err := it.eval(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := it.eval(x.Y, env)
+		if err != nil {
+			return nil, err
+		}
+		if it.floatDiv && x.Op == TokSlash {
+			lf, err := asDouble(x.Pos, l)
+			if err != nil {
+				return nil, err
+			}
+			rf, err := asDouble(x.Pos, r)
+			if err != nil {
+				return nil, err
+			}
+			if rf == 0 {
+				return nil, errf(x.Pos, "division by zero")
+			}
+			return DoubleVal(lf / rf), nil
+		}
+		return numericBinop(x.Pos, x.Op, l, r)
+	case *AssignExpr:
+		c, err := it.lvalue(x.LHS, env)
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := it.eval(x.RHS, env)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case TokAssign:
+			return it.assign(x.Pos, c, rhs)
+		case TokPlusEq, TokMinusEq:
+			op := TokPlus
+			if x.Op == TokMinusEq {
+				op = TokMinus
+			}
+			nv, err := numericBinop(x.Pos, op, c.V, rhs)
+			if err != nil {
+				return nil, err
+			}
+			c.V = nv
+			return nv, nil
+		}
+		return nil, errf(x.Pos, "invalid assignment operator %s", x.Op)
+	case *IncDecExpr:
+		c, err := it.lvalue(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		op := TokPlus
+		if x.Op == TokDec {
+			op = TokMinus
+		}
+		nv, err := numericBinop(x.Pos, op, c.V, IntVal(1))
+		if err != nil {
+			return nil, err
+		}
+		old := c.V
+		c.V = nv
+		return old, nil // postfix semantics
+	case *CallExpr:
+		fn, ok := it.hosts[x.Name]
+		if !ok {
+			return nil, errf(x.Pos, "call to unknown function %q (register it as a host function)", x.Name)
+		}
+		args := make([]Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := it.eval(a, env)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		return fn(x.Pos, args)
+	}
+	return nil, errf(exprPos(e), "cannot evaluate expression")
+}
+
+// assign writes a value into a cell, copying struct contents field by
+// field so struct values keep value semantics.
+func (it *interp) assign(pos Pos, c *Cell, v Value) (Value, error) {
+	if dst, ok := c.V.(*StructVal); ok {
+		src, ok := v.(*StructVal)
+		if !ok {
+			return nil, errf(pos, "assigning non-struct to struct variable")
+		}
+		if src.Type != dst.Type {
+			return nil, errf(pos, "assigning %s to %s", src.Type, dst.Type)
+		}
+		for name, cell := range src.Fields {
+			dst.Fields[name].V = cell.V
+		}
+		return dst, nil
+	}
+	switch v.(type) {
+	case IntVal, DoubleVal:
+		c.V = v
+		return v, nil
+	case *StructVal:
+		// Declared-but-unset cell (zero int) receiving a struct: allow
+		// only if the cell was created for that struct type, which the
+		// declaration path handles; reaching here is a type error.
+		return nil, errf(pos, "assigning struct to non-struct variable")
+	default:
+		return nil, errf(pos, "cannot assign %s value", v.valueKind())
+	}
+}
+
+func exprPos(e Expr) Pos {
+	switch x := e.(type) {
+	case *IntLit:
+		return x.Pos
+	case *FloatLit:
+		return x.Pos
+	case *Ident:
+		return x.Pos
+	case *MemberExpr:
+		return x.Pos
+	case *IndexExpr:
+		return x.Pos
+	case *CallExpr:
+		return x.Pos
+	case *UnaryExpr:
+		return x.Pos
+	case *BinaryExpr:
+		return x.Pos
+	case *AssignExpr:
+		return x.Pos
+	case *IncDecExpr:
+		return x.Pos
+	case *SizeofExpr:
+		return x.Pos
+	}
+	return Pos{}
+}

@@ -1,0 +1,185 @@
+package pmdl
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lexer turns model source text into tokens. It supports //-line and
+// /* */-block comments.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (l *lexer) at() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peekRune() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekRune2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		r := l.peekRune()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '/' && l.peekRune2() == '/':
+			for l.pos < len(l.src) && l.peekRune() != '\n' {
+				l.advance()
+			}
+		case r == '/' && l.peekRune2() == '*':
+			start := l.at()
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return errf(start, "unterminated block comment")
+				}
+				if l.peekRune() == '*' && l.peekRune2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next returns the next token.
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := l.at()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	r := l.peekRune()
+
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		var sb strings.Builder
+		for l.pos < len(l.src) {
+			c := l.peekRune()
+			if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+				break
+			}
+			sb.WriteRune(l.advance())
+		}
+		text := sb.String()
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+
+	case unicode.IsDigit(r):
+		var sb strings.Builder
+		isFloat := false
+		for l.pos < len(l.src) {
+			c := l.peekRune()
+			if unicode.IsDigit(c) {
+				sb.WriteRune(l.advance())
+				continue
+			}
+			// A '.' starts a fraction only when followed by a digit
+			// (so struct member access on an int-valued expression
+			// never arises in this grammar, but be strict anyway).
+			if c == '.' && !isFloat && unicode.IsDigit(l.peekRune2()) {
+				isFloat = true
+				sb.WriteRune(l.advance())
+				continue
+			}
+			if (c == 'e' || c == 'E') && (unicode.IsDigit(l.peekRune2()) || l.peekRune2() == '-' || l.peekRune2() == '+') {
+				isFloat = true
+				sb.WriteRune(l.advance()) // e
+				if l.peekRune() == '-' || l.peekRune() == '+' {
+					sb.WriteRune(l.advance())
+				}
+				continue
+			}
+			break
+		}
+		kind := TokInt
+		if isFloat {
+			kind = TokFloat
+		}
+		return Token{Kind: kind, Text: sb.String(), Pos: pos}, nil
+	}
+
+	// Operators and punctuation, longest match first.
+	two := string(r)
+	if l.pos+1 < len(l.src) {
+		two = string([]rune{r, l.peekRune2()})
+	}
+	twoCharOps := map[string]TokKind{
+		"->": TokArrow, "%%": TokPercent2, "+=": TokPlusEq, "-=": TokMinusEq,
+		"++": TokInc, "--": TokDec, "==": TokEq, "!=": TokNe, "<=": TokLe,
+		">=": TokGe, "&&": TokAndAnd, "||": TokOrOr,
+	}
+	if k, ok := twoCharOps[two]; ok {
+		l.advance()
+		l.advance()
+		return Token{Kind: k, Text: two, Pos: pos}, nil
+	}
+	oneCharOps := map[rune]TokKind{
+		'(': TokLParen, ')': TokRParen, '{': TokLBrace, '}': TokRBrace,
+		'[': TokLBracket, ']': TokRBracket, ';': TokSemi, ',': TokComma,
+		':': TokColon, '.': TokDot, '=': TokAssign, '<': TokLt, '>': TokGt,
+		'+': TokPlus, '-': TokMinus, '*': TokStar, '/': TokSlash,
+		'%': TokPercent, '!': TokNot, '&': TokAmp,
+	}
+	if k, ok := oneCharOps[r]; ok {
+		l.advance()
+		return Token{Kind: k, Text: string(r), Pos: pos}, nil
+	}
+	return Token{}, errf(pos, "unexpected character %q", r)
+}
+
+// lexAll tokenises the whole source.
+func lexAll(src string) ([]Token, error) {
+	l := newLexer(src)
+	var out []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package pmdl
+
+import "testing"
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lexAll("algorithm Em3d(int p) { coord I=p; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokKind{
+		TokAlgorithm, TokIdent, TokLParen, TokIntType, TokIdent, TokRParen,
+		TokLBrace, TokCoord, TokIdent, TokAssign, TokIdent, TokSemi,
+		TokRBrace, TokEOF,
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	src := "-> %% == != <= >= && || ++ -- += -= = < > + - * / % ! & . : ,"
+	want := []TokKind{
+		TokArrow, TokPercent2, TokEq, TokNe, TokLe, TokGe, TokAndAnd, TokOrOr,
+		TokInc, TokDec, TokPlusEq, TokMinusEq, TokAssign, TokLt, TokGt,
+		TokPlus, TokMinus, TokStar, TokSlash, TokPercent, TokNot, TokAmp,
+		TokDot, TokColon, TokComma, TokEOF,
+	}
+	toks, err := lexAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := lexAll("42 3.5 100.0 1e6 2.5e-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []TokKind{TokInt, TokFloat, TokFloat, TokFloat, TokFloat, TokEOF}
+	wantTexts := []string{"42", "3.5", "100.0", "1e6", "2.5e-3", ""}
+	for i, k := range wantKinds {
+		if toks[i].Kind != k || toks[i].Text != wantTexts[i] {
+			t.Errorf("token %d = %s %q, want %s %q", i, toks[i].Kind, toks[i].Text, k, wantTexts[i])
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := lexAll("a // line comment\n b /* block\ncomment */ c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 { // a b c EOF
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if toks[i].Text != want {
+			t.Errorf("token %d = %q, want %q", i, toks[i].Text, want)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := lexAll("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lexAll("a @ b"); err == nil {
+		t.Error("unexpected character accepted")
+	}
+	if _, err := lexAll("/* never closed"); err == nil {
+		t.Error("unterminated comment accepted")
+	}
+}

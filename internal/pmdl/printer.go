@@ -1,0 +1,230 @@
+package pmdl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders a parsed model file back to canonical source text. The
+// output parses to an equivalent AST (Format(Parse(Format(f))) is a fixed
+// point), which the tests verify; pmc uses it to normalise model files.
+func Format(f *File) string {
+	var b strings.Builder
+	p := &printer{b: &b}
+	for _, td := range f.Typedefs {
+		p.printf("typedef struct {")
+		for i, fd := range td.Fields {
+			if i > 0 {
+				p.printf(" ")
+			}
+			p.printf("int %s;", fd)
+		}
+		p.printf("} %s;\n\n", td.Name)
+	}
+	alg := f.Algorithm
+	p.printf("algorithm %s(", alg.Name)
+	for i, prm := range alg.Params {
+		if i > 0 {
+			p.printf(", ")
+		}
+		p.printf("%s %s", prm.Type, prm.Name)
+		for _, d := range prm.Dims {
+			p.printf("[%s]", exprString(d))
+		}
+	}
+	p.printf(") {\n")
+	p.indent++
+
+	p.line("coord " + joinCoordVars(alg.Coords) + ";")
+	for _, cl := range alg.Nodes {
+		p.line(fmt.Sprintf("node {%s: bench*(%s);};", exprString(cl.Guard), exprString(cl.Volume)))
+	}
+	if alg.Link != nil {
+		hdr := "link"
+		if len(alg.Link.Vars) > 0 {
+			hdr += " (" + joinCoordVars(alg.Link.Vars) + ")"
+		}
+		p.line(hdr + " {")
+		p.indent++
+		for _, cl := range alg.Link.Clauses {
+			p.line(fmt.Sprintf("%s: length*(%s) %s->%s;",
+				exprString(cl.Guard), exprString(cl.Volume),
+				coordList(cl.Src), coordList(cl.Dst)))
+		}
+		p.indent--
+		p.line("};")
+	}
+	if alg.Parent != nil {
+		p.line("parent" + coordList(alg.Parent) + ";")
+	}
+	p.line("scheme {")
+	p.indent++
+	for _, st := range alg.Scheme.Stmts {
+		p.stmt(st)
+	}
+	p.indent--
+	p.line("};")
+
+	p.indent--
+	p.printf("}\n")
+	return b.String()
+}
+
+type printer struct {
+	b      *strings.Builder
+	indent int
+}
+
+func (p *printer) printf(format string, args ...any) {
+	fmt.Fprintf(p.b, format, args...)
+}
+
+func (p *printer) line(s string) {
+	p.printf("%s%s\n", strings.Repeat("  ", p.indent), s)
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch x := s.(type) {
+	case *BlockStmt:
+		p.line("{")
+		p.indent++
+		for _, st := range x.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.line("}")
+	case *DeclStmt:
+		parts := make([]string, len(x.Names))
+		for i, n := range x.Names {
+			if x.Inits[i] != nil {
+				parts[i] = n + " = " + exprString(x.Inits[i])
+			} else {
+				parts[i] = n
+			}
+		}
+		p.line(x.Type.String() + " " + strings.Join(parts, ", ") + ";")
+	case *LoopStmt:
+		kw := "for"
+		if x.Par {
+			kw = "par"
+		}
+		init, post := "", ""
+		if x.Init != nil {
+			init = simpleStmtString(x.Init)
+		}
+		cond := ""
+		if x.Cond != nil {
+			cond = exprString(x.Cond)
+		}
+		if x.Post != nil {
+			post = simpleStmtString(x.Post)
+		}
+		p.line(fmt.Sprintf("%s (%s; %s; %s)", kw, init, cond, post))
+		p.indent++
+		p.stmt(x.Body)
+		p.indent--
+	case *IfStmt:
+		p.line("if (" + exprString(x.Cond) + ")")
+		p.indent++
+		p.stmt(x.Then)
+		p.indent--
+		if x.Else != nil {
+			p.line("else")
+			p.indent++
+			p.stmt(x.Else)
+			p.indent--
+		}
+	case *ExprStmt:
+		p.line(exprString(x.X) + ";")
+	case *ActionStmt:
+		out := "(" + exprString(x.Percent) + ")%%" + coordList(x.A)
+		if x.B != nil {
+			out += "->" + coordList(x.B)
+		}
+		p.line(out + ";")
+	}
+}
+
+// simpleStmtString renders a loop init/post clause without newline or
+// semicolon.
+func simpleStmtString(s Stmt) string {
+	switch x := s.(type) {
+	case *ExprStmt:
+		return exprString(x.X)
+	case *DeclStmt:
+		parts := make([]string, len(x.Names))
+		for i, n := range x.Names {
+			if x.Inits[i] != nil {
+				parts[i] = n + " = " + exprString(x.Inits[i])
+			} else {
+				parts[i] = n
+			}
+		}
+		return x.Type.String() + " " + strings.Join(parts, ", ")
+	default:
+		return fmt.Sprintf("/* %T */", s)
+	}
+}
+
+func joinCoordVars(cs []CoordVar) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.Name + "=" + exprString(c.Size)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func coordList(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = exprString(e)
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+var opText = map[TokKind]string{
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/", TokPercent: "%",
+	TokEq: "==", TokNe: "!=", TokLt: "<", TokGt: ">", TokLe: "<=", TokGe: ">=",
+	TokAndAnd: "&&", TokOrOr: "||", TokNot: "!", TokAmp: "&",
+	TokAssign: "=", TokPlusEq: "+=", TokMinusEq: "-=", TokInc: "++", TokDec: "--",
+}
+
+// exprString renders an expression, parenthesising every binary operation
+// so re-parsing preserves the tree exactly.
+func exprString(e Expr) string {
+	switch x := e.(type) {
+	case *IntLit:
+		return strconv.FormatInt(x.Value, 10)
+	case *FloatLit:
+		s := strconv.FormatFloat(x.Value, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0" // keep it lexing as a float literal
+		}
+		return s
+	case *Ident:
+		return x.Name
+	case *MemberExpr:
+		return exprString(x.X) + "." + x.Name
+	case *IndexExpr:
+		return exprString(x.X) + "[" + exprString(x.Idx) + "]"
+	case *CallExpr:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = exprString(a)
+		}
+		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	case *UnaryExpr:
+		return opText[x.Op] + "(" + exprString(x.X) + ")"
+	case *BinaryExpr:
+		return "(" + exprString(x.X) + " " + opText[x.Op] + " " + exprString(x.Y) + ")"
+	case *AssignExpr:
+		return exprString(x.LHS) + " " + opText[x.Op] + " " + exprString(x.RHS)
+	case *IncDecExpr:
+		return exprString(x.X) + opText[x.Op]
+	case *SizeofExpr:
+		return "sizeof(" + x.Type.String() + ")"
+	default:
+		return fmt.Sprintf("/* %T */", e)
+	}
+}

@@ -1,0 +1,362 @@
+package pmdl
+
+import "fmt"
+
+// Static semantic analysis of a model file: name resolution, arity checks
+// and structural rules, reported before any instantiation. The paper's
+// toolchain compiles model descriptions ahead of time (Figure 1); Check is
+// the diagnostic half of that compiler. ParseModel runs it automatically.
+//
+// Checked rules:
+//
+//   - parameter, coordinate and link-variable names are unique;
+//   - every identifier in node/link/parent/scheme resolves to a parameter,
+//     coordinate, link variable or (in schemes) a local declaration in
+//     scope;
+//   - struct types exist and member accesses name real fields;
+//   - coordinate target lists ([...] in actions, link clauses and parent)
+//     have exactly one expression per coordinate;
+//   - array subscripts do not exceed the declared dimensionality;
+//   - assignment targets are lvalues.
+//
+// Host-function calls cannot be resolved statically (they are registered
+// at run time), so call names are not checked here; unknown functions
+// surface when the scheme is interpreted.
+
+// Check performs the semantic analysis and returns the first error.
+func Check(f *File) error {
+	c := &checker{
+		structs: make(map[string]*StructDef),
+		coords:  len(f.Algorithm.Coords),
+	}
+	for _, td := range f.Typedefs {
+		if _, dup := c.structs[td.Name]; dup {
+			return errf(td.Pos, "duplicate struct typedef %q", td.Name)
+		}
+		fields := map[string]bool{}
+		for _, fd := range td.Fields {
+			if fields[fd] {
+				return errf(td.Pos, "duplicate field %q in struct %s", fd, td.Name)
+			}
+			fields[fd] = true
+		}
+		c.structs[td.Name] = td
+	}
+	alg := f.Algorithm
+
+	// Parameters.
+	global := newScope(nil)
+	for _, prm := range alg.Params {
+		if prm.Type.Kind == TypeStruct {
+			if _, ok := c.structs[prm.Type.Struct]; !ok {
+				return errf(prm.Pos, "parameter %s has unknown type %q", prm.Name, prm.Type.Struct)
+			}
+		}
+		if err := global.declare(prm.Pos, prm.Name, symbol{dims: len(prm.Dims), typ: prm.Type}); err != nil {
+			return err
+		}
+		// Dimension expressions may reference earlier parameters.
+		for _, dim := range prm.Dims {
+			if err := c.expr(dim, global); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Coordinates: sizes reference parameters; names join the scope.
+	for _, cv := range alg.Coords {
+		if err := c.expr(cv.Size, global); err != nil {
+			return err
+		}
+		if err := global.declare(cv.Pos, cv.Name, symbol{typ: TypeRef{Kind: TypeInt}}); err != nil {
+			return err
+		}
+	}
+
+	// Node clauses.
+	for _, cl := range alg.Nodes {
+		if err := c.expr(cl.Guard, global); err != nil {
+			return err
+		}
+		if err := c.expr(cl.Volume, global); err != nil {
+			return err
+		}
+	}
+
+	// Link clauses, with the link variables in scope.
+	if alg.Link != nil {
+		linkScope := newScope(global)
+		for _, lv := range alg.Link.Vars {
+			if err := c.expr(lv.Size, global); err != nil {
+				return err
+			}
+			if err := linkScope.declare(lv.Pos, lv.Name, symbol{typ: TypeRef{Kind: TypeInt}}); err != nil {
+				return err
+			}
+		}
+		for _, cl := range alg.Link.Clauses {
+			if err := c.expr(cl.Guard, linkScope); err != nil {
+				return err
+			}
+			if err := c.expr(cl.Volume, linkScope); err != nil {
+				return err
+			}
+			for _, side := range [][]Expr{cl.Src, cl.Dst} {
+				if len(side) != c.coords {
+					return errf(cl.Pos, "link target names %d coordinates, algorithm has %d", len(side), c.coords)
+				}
+				for _, e := range side {
+					if err := c.expr(e, linkScope); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+
+	// Parent.
+	if alg.Parent != nil {
+		if len(alg.Parent) != c.coords {
+			return errf(alg.Pos, "parent names %d coordinates, algorithm has %d", len(alg.Parent), c.coords)
+		}
+		for _, e := range alg.Parent {
+			if err := c.expr(e, global); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Scheme.
+	return c.stmt(alg.Scheme, newScope(global))
+}
+
+// symbol is a declared name.
+type symbol struct {
+	dims int // >0 for arrays
+	typ  TypeRef
+}
+
+// scope is a lexical scope for the checker.
+type scope struct {
+	names  map[string]symbol
+	parent *scope
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{names: make(map[string]symbol), parent: parent}
+}
+
+func (s *scope) declare(pos Pos, name string, sym symbol) error {
+	if _, dup := s.names[name]; dup {
+		return errf(pos, "redeclaration of %q", name)
+	}
+	s.names[name] = sym
+	return nil
+}
+
+func (s *scope) lookup(name string) (symbol, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sym, ok := sc.names[name]; ok {
+			return sym, true
+		}
+	}
+	return symbol{}, false
+}
+
+type checker struct {
+	structs map[string]*StructDef
+	coords  int
+}
+
+func (c *checker) stmt(s Stmt, sc *scope) error {
+	switch x := s.(type) {
+	case *BlockStmt:
+		inner := newScope(sc)
+		for _, st := range x.Stmts {
+			if err := c.stmt(st, inner); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *DeclStmt:
+		if x.Type.Kind == TypeStruct {
+			if _, ok := c.structs[x.Type.Struct]; !ok {
+				return errf(x.Pos, "unknown struct type %q", x.Type.Struct)
+			}
+		}
+		for i, name := range x.Names {
+			if x.Inits[i] != nil {
+				if err := c.expr(x.Inits[i], sc); err != nil {
+					return err
+				}
+			}
+			if err := sc.declare(x.Pos, name, symbol{typ: x.Type}); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *LoopStmt:
+		inner := newScope(sc)
+		if x.Init != nil {
+			if err := c.stmt(x.Init, inner); err != nil {
+				return err
+			}
+		}
+		if x.Cond != nil {
+			if err := c.expr(x.Cond, inner); err != nil {
+				return err
+			}
+		} else if !x.Par {
+			return errf(x.Pos, "for loop without a condition never terminates")
+		}
+		if x.Post != nil {
+			if err := c.stmt(x.Post, inner); err != nil {
+				return err
+			}
+		}
+		return c.stmt(x.Body, inner)
+	case *IfStmt:
+		if err := c.expr(x.Cond, sc); err != nil {
+			return err
+		}
+		if err := c.stmt(x.Then, sc); err != nil {
+			return err
+		}
+		if x.Else != nil {
+			return c.stmt(x.Else, sc)
+		}
+		return nil
+	case *ExprStmt:
+		return c.expr(x.X, sc)
+	case *ActionStmt:
+		if err := c.expr(x.Percent, sc); err != nil {
+			return err
+		}
+		for _, side := range [][]Expr{x.A, x.B} {
+			if side == nil {
+				continue
+			}
+			if len(side) != c.coords {
+				return errf(x.Pos, "action target names %d coordinates, algorithm has %d", len(side), c.coords)
+			}
+			for _, e := range side {
+				if err := c.expr(e, sc); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("pmdl: unknown statement %T", s)
+}
+
+func (c *checker) expr(e Expr, sc *scope) error {
+	switch x := e.(type) {
+	case *IntLit, *FloatLit, *SizeofExpr:
+		return nil
+	case *Ident:
+		if _, ok := sc.lookup(x.Name); !ok {
+			return errf(x.Pos, "undefined name %q", x.Name)
+		}
+		return nil
+	case *MemberExpr:
+		// The base must be a struct-typed name; resolve its type when
+		// statically known.
+		if id, ok := x.X.(*Ident); ok {
+			sym, found := sc.lookup(id.Name)
+			if !found {
+				return errf(id.Pos, "undefined name %q", id.Name)
+			}
+			if sym.typ.Kind == TypeStruct {
+				def := c.structs[sym.typ.Struct]
+				if def != nil && !containsString(def.Fields, x.Name) {
+					return errf(x.Pos, "struct %s has no field %q", sym.typ.Struct, x.Name)
+				}
+				return nil
+			}
+			return errf(x.Pos, "%q is not a struct", id.Name)
+		}
+		return c.expr(x.X, sc)
+	case *IndexExpr:
+		// Count subscript depth against declared dimensionality for
+		// plain identifiers.
+		depth := 0
+		base := e
+		for {
+			idx, ok := base.(*IndexExpr)
+			if !ok {
+				break
+			}
+			if err := c.expr(idx.Idx, sc); err != nil {
+				return err
+			}
+			depth++
+			base = idx.X
+		}
+		if id, ok := base.(*Ident); ok {
+			sym, found := sc.lookup(id.Name)
+			if !found {
+				return errf(id.Pos, "undefined name %q", id.Name)
+			}
+			if sym.dims == 0 {
+				return errf(x.Pos, "%q is not an array", id.Name)
+			}
+			if depth > sym.dims {
+				return errf(x.Pos, "%q has %d dimensions, %d subscripts given", id.Name, sym.dims, depth)
+			}
+			return nil
+		}
+		return c.expr(base, sc)
+	case *CallExpr:
+		// Host functions are resolved at run time; only check args.
+		for _, a := range x.Args {
+			if err := c.expr(a, sc); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *UnaryExpr:
+		if x.Op == TokAmp {
+			if !isLvalue(x.X) {
+				return errf(x.Pos, "& requires an assignable operand")
+			}
+		}
+		return c.expr(x.X, sc)
+	case *BinaryExpr:
+		if err := c.expr(x.X, sc); err != nil {
+			return err
+		}
+		return c.expr(x.Y, sc)
+	case *AssignExpr:
+		if !isLvalue(x.LHS) {
+			return errf(x.Pos, "left side of assignment is not assignable")
+		}
+		if err := c.expr(x.LHS, sc); err != nil {
+			return err
+		}
+		return c.expr(x.RHS, sc)
+	case *IncDecExpr:
+		if !isLvalue(x.X) {
+			return errf(x.Pos, "operand of ++/-- is not assignable")
+		}
+		return c.expr(x.X, sc)
+	}
+	return fmt.Errorf("pmdl: unknown expression %T", e)
+}
+
+func isLvalue(e Expr) bool {
+	switch e.(type) {
+	case *Ident, *MemberExpr, *IndexExpr:
+		return true
+	}
+	return false
+}
+
+func containsString(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,152 @@
+// Package pmdl implements HMPI's performance-model definition language —
+// the small, dedicated language (derived from the network types of mpC) in
+// which an application programmer describes the performance model of a
+// parallel algorithm: the number of abstract processors (coord), the
+// volume of computation each performs (node), the volume of data
+// transferred between each pair (link), the parent process (parent), and
+// how the processors interact during execution (scheme).
+//
+// The package contains the compiler front end (lexer, parser, AST) and the
+// model evaluator: Instantiate binds actual parameters and evaluates the
+// node and link sections into per-processor computation volumes and
+// per-pair communication volumes; BuildDAG interprets the scheme section
+// into a task graph that the sched package replays against a candidate
+// process arrangement to predict execution time (HMPI_Timeof).
+package pmdl
+
+import "fmt"
+
+// TokKind enumerates token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+
+	// Keywords.
+	TokAlgorithm
+	TokCoord
+	TokNode
+	TokLink
+	TokParent
+	TokScheme
+	TokPar
+	TokFor
+	TokIf
+	TokElse
+	TokIntType
+	TokDoubleType
+	TokTypedef
+	TokStruct
+	TokBench
+	TokLength
+	TokSizeof
+
+	// Punctuation and operators.
+	TokLParen   // (
+	TokRParen   // )
+	TokLBrace   // {
+	TokRBrace   // }
+	TokLBracket // [
+	TokRBracket // ]
+	TokSemi     // ;
+	TokComma    // ,
+	TokColon    // :
+	TokDot      // .
+	TokArrow    // ->
+	TokPercent2 // %%
+	TokAssign   // =
+	TokPlusEq   // +=
+	TokMinusEq  // -=
+	TokInc      // ++
+	TokDec      // --
+	TokEq       // ==
+	TokNe       // !=
+	TokLe       // <=
+	TokGe       // >=
+	TokLt       // <
+	TokGt       // >
+	TokPlus     // +
+	TokMinus    // -
+	TokStar     // *
+	TokSlash    // /
+	TokPercent  // %
+	TokAndAnd   // &&
+	TokOrOr     // ||
+	TokNot      // !
+	TokAmp      // &
+)
+
+var keywords = map[string]TokKind{
+	"algorithm": TokAlgorithm,
+	"coord":     TokCoord,
+	"node":      TokNode,
+	"link":      TokLink,
+	"parent":    TokParent,
+	"scheme":    TokScheme,
+	"par":       TokPar,
+	"for":       TokFor,
+	"if":        TokIf,
+	"else":      TokElse,
+	"int":       TokIntType,
+	"double":    TokDoubleType,
+	"typedef":   TokTypedef,
+	"struct":    TokStruct,
+	"bench":     TokBench,
+	"length":    TokLength,
+	"sizeof":    TokSizeof,
+}
+
+var tokNames = map[TokKind]string{
+	TokEOF: "end of input", TokIdent: "identifier", TokInt: "integer literal",
+	TokFloat: "float literal", TokAlgorithm: "'algorithm'", TokCoord: "'coord'",
+	TokNode: "'node'", TokLink: "'link'", TokParent: "'parent'",
+	TokScheme: "'scheme'", TokPar: "'par'", TokFor: "'for'", TokIf: "'if'",
+	TokElse: "'else'", TokIntType: "'int'", TokDoubleType: "'double'",
+	TokTypedef: "'typedef'", TokStruct: "'struct'", TokBench: "'bench'",
+	TokLength: "'length'", TokSizeof: "'sizeof'",
+	TokLParen: "'('", TokRParen: "')'", TokLBrace: "'{'", TokRBrace: "'}'",
+	TokLBracket: "'['", TokRBracket: "']'", TokSemi: "';'", TokComma: "','",
+	TokColon: "':'", TokDot: "'.'", TokArrow: "'->'", TokPercent2: "'%%'",
+	TokAssign: "'='", TokPlusEq: "'+='", TokMinusEq: "'-='", TokInc: "'++'",
+	TokDec: "'--'", TokEq: "'=='", TokNe: "'!='", TokLe: "'<='", TokGe: "'>='",
+	TokLt: "'<'", TokGt: "'>'", TokPlus: "'+'", TokMinus: "'-'", TokStar: "'*'",
+	TokSlash: "'/'", TokPercent: "'%'", TokAndAnd: "'&&'", TokOrOr: "'||'",
+	TokNot: "'!'", TokAmp: "'&'",
+}
+
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}
+
+// Error is a compile-time error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("pmdl: %s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,281 @@
+package pmdl
+
+import (
+	"fmt"
+)
+
+// Runtime value model of the interpreter. Arithmetic follows C semantics:
+// int/int division truncates, mixed int/double promotes to double,
+// comparisons and logical operators produce int 0/1.
+
+// Value is a runtime value: IntVal, DoubleVal, *StructVal, *ArrayVal or
+// RefVal.
+type Value interface{ valueKind() string }
+
+// IntVal is an int value.
+type IntVal int64
+
+// DoubleVal is a double value.
+type DoubleVal float64
+
+// Cell is an assignable storage location.
+type Cell struct{ V Value }
+
+// StructVal is a struct instance with assignable int fields.
+type StructVal struct {
+	Type   string
+	Fields map[string]*Cell
+	Order  []string
+}
+
+// ArrayVal is a (possibly multi-dimensional) array. Elements are stored
+// flattened in row-major order; indexing one subscript at a time yields
+// sub-array views until the last dimension, which yields element cells.
+type ArrayVal struct {
+	Dims  []int
+	Elems []*Cell // len == product of Dims
+}
+
+// RefVal is the address of a cell, produced by unary & and consumed by
+// host functions (e.g. GetProcessor's output parameter).
+type RefVal struct{ Cell *Cell }
+
+func (IntVal) valueKind() string     { return "int" }
+func (DoubleVal) valueKind() string  { return "double" }
+func (*StructVal) valueKind() string { return "struct" }
+func (*ArrayVal) valueKind() string  { return "array" }
+func (RefVal) valueKind() string     { return "ref" }
+
+// newStruct builds a zeroed struct instance from its definition.
+func newStruct(def *StructDef) *StructVal {
+	s := &StructVal{Type: def.Name, Fields: make(map[string]*Cell, len(def.Fields))}
+	for _, f := range def.Fields {
+		s.Fields[f] = &Cell{V: IntVal(0)}
+		s.Order = append(s.Order, f)
+	}
+	return s
+}
+
+// newArray builds a zeroed int array with the given dimensions.
+func newArray(dims []int) *ArrayVal {
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	a := &ArrayVal{Dims: dims, Elems: make([]*Cell, n)}
+	for i := range a.Elems {
+		a.Elems[i] = &Cell{V: IntVal(0)}
+	}
+	return a
+}
+
+// index returns the sub-array view (more than one remaining dimension) or
+// the element cell (last dimension) at position i of the first dimension.
+func (a *ArrayVal) index(pos Pos, i int64) (Value, *Cell, error) {
+	if len(a.Dims) == 0 {
+		return nil, nil, errf(pos, "indexing a non-array value")
+	}
+	if i < 0 || int(i) >= a.Dims[0] {
+		return nil, nil, errf(pos, "index %d out of range [0,%d)", i, a.Dims[0])
+	}
+	if len(a.Dims) == 1 {
+		return nil, a.Elems[i], nil
+	}
+	stride := 1
+	for _, d := range a.Dims[1:] {
+		stride *= d
+	}
+	return &ArrayVal{
+		Dims:  a.Dims[1:],
+		Elems: a.Elems[int(i)*stride : (int(i)+1)*stride],
+	}, nil, nil
+}
+
+// env is a lexical scope chain.
+type env struct {
+	vars   map[string]*Cell
+	parent *env
+}
+
+func newEnv(parent *env) *env {
+	return &env{vars: make(map[string]*Cell), parent: parent}
+}
+
+func (e *env) lookup(name string) (*Cell, bool) {
+	for s := e; s != nil; s = s.parent {
+		if c, ok := s.vars[name]; ok {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+func (e *env) define(pos Pos, name string, v Value) (*Cell, error) {
+	if _, exists := e.vars[name]; exists {
+		return nil, errf(pos, "redeclaration of %q", name)
+	}
+	c := &Cell{V: v}
+	e.vars[name] = c
+	return c, nil
+}
+
+// Numeric conversions.
+
+func asInt(pos Pos, v Value) (int64, error) {
+	switch x := v.(type) {
+	case IntVal:
+		return int64(x), nil
+	case DoubleVal:
+		return int64(x), nil
+	default:
+		return 0, errf(pos, "expected a numeric value, got %s", v.valueKind())
+	}
+}
+
+func asDouble(pos Pos, v Value) (float64, error) {
+	switch x := v.(type) {
+	case IntVal:
+		return float64(x), nil
+	case DoubleVal:
+		return float64(x), nil
+	default:
+		return 0, errf(pos, "expected a numeric value, got %s", v.valueKind())
+	}
+}
+
+func isTruthy(pos Pos, v Value) (bool, error) {
+	i, err := asInt(pos, v)
+	return i != 0, err
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return IntVal(1)
+	}
+	return IntVal(0)
+}
+
+// HostFunc is a function the embedding Go program registers with a model;
+// the scheme may call it by name (the matrix-multiplication model calls
+// GetProcessor this way). Arguments arrive evaluated; & arguments arrive
+// as RefVal so the function can write through them.
+type HostFunc func(pos Pos, args []Value) (Value, error)
+
+// numericBinop applies a C-semantics binary operator.
+func numericBinop(pos Pos, op TokKind, a, b Value) (Value, error) {
+	_, aIsD := a.(DoubleVal)
+	_, bIsD := b.(DoubleVal)
+	if aIsD || bIsD {
+		x, err := asDouble(pos, a)
+		if err != nil {
+			return nil, err
+		}
+		y, err := asDouble(pos, b)
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case TokPlus:
+			return DoubleVal(x + y), nil
+		case TokMinus:
+			return DoubleVal(x - y), nil
+		case TokStar:
+			return DoubleVal(x * y), nil
+		case TokSlash:
+			if y == 0 {
+				return nil, errf(pos, "division by zero")
+			}
+			return DoubleVal(x / y), nil
+		case TokPercent:
+			return nil, errf(pos, "%% requires integer operands")
+		case TokEq:
+			return boolVal(x == y), nil
+		case TokNe:
+			return boolVal(x != y), nil
+		case TokLt:
+			return boolVal(x < y), nil
+		case TokGt:
+			return boolVal(x > y), nil
+		case TokLe:
+			return boolVal(x <= y), nil
+		case TokGe:
+			return boolVal(x >= y), nil
+		}
+		return nil, errf(pos, "invalid binary operator %s", op)
+	}
+	x, err := asInt(pos, a)
+	if err != nil {
+		return nil, err
+	}
+	y, err := asInt(pos, b)
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case TokPlus:
+		return IntVal(x + y), nil
+	case TokMinus:
+		return IntVal(x - y), nil
+	case TokStar:
+		return IntVal(x * y), nil
+	case TokSlash:
+		if y == 0 {
+			return nil, errf(pos, "division by zero")
+		}
+		return IntVal(x / y), nil
+	case TokPercent:
+		if y == 0 {
+			return nil, errf(pos, "modulo by zero")
+		}
+		return IntVal(x % y), nil
+	case TokEq:
+		return boolVal(x == y), nil
+	case TokNe:
+		return boolVal(x != y), nil
+	case TokLt:
+		return boolVal(x < y), nil
+	case TokGt:
+		return boolVal(x > y), nil
+	case TokLe:
+		return boolVal(x <= y), nil
+	case TokGe:
+		return boolVal(x >= y), nil
+	}
+	return nil, errf(pos, "invalid binary operator %s", op)
+}
+
+// FormatValue renders a value for diagnostics and the pmc tool.
+func FormatValue(v Value) string {
+	switch x := v.(type) {
+	case IntVal:
+		return fmt.Sprintf("%d", int64(x))
+	case DoubleVal:
+		return fmt.Sprintf("%g", float64(x))
+	case *StructVal:
+		s := x.Type + "{"
+		for i, f := range x.Order {
+			if i > 0 {
+				s += ", "
+			}
+			s += f + ": " + FormatValue(x.Fields[f].V)
+		}
+		return s + "}"
+	case *ArrayVal:
+		s := "["
+		for i, c := range x.Elems {
+			if i > 0 {
+				s += " "
+			}
+			if i >= 16 {
+				s += "..."
+				break
+			}
+			s += FormatValue(c.V)
+		}
+		return s + "]"
+	case RefVal:
+		return "&" + FormatValue(x.Cell.V)
+	default:
+		return "?"
+	}
+}
