@@ -2,13 +2,19 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figures examples clean
+.PHONY: all build test race bench check figures examples clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
+
+# The CI gate: vet, build, and the full race-enabled suite.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
 
 test:
 	$(GO) test ./...

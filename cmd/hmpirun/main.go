@@ -9,12 +9,17 @@
 //	hmpirun -app em3d -mode mpi
 //	hmpirun -app matmul -n 90 -r 9 -l 9
 //	hmpirun -app matmul -mode both -cluster mynet.json
+//	hmpirun -app em3d -chaos "2@0.5;4@1.2"
+//	hmpirun -app matmul -chaos "rand:k=2,seed=42,tmax=1.0"
 //
 // The cluster defaults to the paper's nine-workstation network; -cluster
-// loads a JSON configuration (see hnoc.Cluster).
+// loads a JSON configuration (see hnoc.Cluster). -chaos injects process
+// failures from a deterministic schedule and runs the application under
+// the self-healing harness (see the chaos and hmpi packages).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +27,7 @@ import (
 	"repro/internal/apps/em3d"
 	"repro/internal/apps/jacobi"
 	"repro/internal/apps/matmul"
+	"repro/internal/chaos"
 	"repro/internal/hmpi"
 	"repro/internal/hnoc"
 	"repro/internal/mpi"
@@ -41,6 +47,8 @@ func main() {
 	gridRows := flag.Int("grid", 1800, "jacobi: grid dimension (rows = cols)")
 	trace := flag.Bool("trace", false, "print a per-process activity timeline after each run")
 	ganttWidth := flag.Int("trace-width", 100, "timeline width in columns")
+	chaosSpec := flag.String("chaos", "",
+		`fault schedule, e.g. "2@0.5;4@1.2" or "rand:k=2,seed=42,tmax=1.0"; runs the app under the self-healing harness`)
 	flag.Parse()
 
 	cluster := hnoc.Paper9()
@@ -73,6 +81,23 @@ func main() {
 		}
 		lastTrace = nil
 	}
+	// armChaos parses the -chaos spec and attaches it to the runtime's
+	// world; each kill is reported as it fires.
+	armChaos := func(rt *hmpi.Runtime) {
+		sched, err := chaos.Parse(*chaosSpec, rt.World().Size())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chaos: schedule %q\n", sched)
+		if err := sched.Attach(rt.World(), func(e chaos.Event) {
+			fmt.Printf("chaos: rank %d killed at t=%.6gs\n", e.Rank, float64(e.At))
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	if *chaosSpec != "" && *mode == "mpi" {
+		fatal(errors.New("-chaos needs the HMPI mode: the plain MPI baseline has no recovery"))
+	}
 
 	switch *app {
 	case "em3d":
@@ -81,6 +106,18 @@ func main() {
 			fatal(err)
 		}
 		opts := em3d.RunOptions{Iters: *iters}
+		if *chaosSpec != "" {
+			rt := newRT()
+			armChaos(rt)
+			res, err := em3d.RunResilientHMPI(rt, pr, opts)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("em3d hmpi+chaos: time %.6gs work %.6gs recovery %.6gs attempts %d selection %v\n",
+				float64(res.Time), float64(res.WorkTime), float64(res.Recovery), res.Attempts, res.Selection)
+			printTrace("em3d hmpi+chaos", len(cluster.Machines))
+			return
+		}
 		if *mode == "hmpi" || *mode == "both" {
 			res, err := em3d.RunHMPI(newRT(), pr, opts)
 			if err != nil {
@@ -102,6 +139,21 @@ func main() {
 		pr, err := matmul.Generate(matmul.Config{M: *m, R: *r, N: *n})
 		if err != nil {
 			fatal(err)
+		}
+		if *chaosSpec != "" {
+			if *l <= 0 {
+				fatal(errors.New("-chaos needs a fixed -l: the resilient driver does not search block sizes"))
+			}
+			rt := newRT()
+			armChaos(rt)
+			res, err := matmul.RunResilientHMPI(rt, pr, *l, matmul.RunOptions{})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("matmul hmpi+chaos: time %.6gs work %.6gs recovery %.6gs attempts %d l=%d selection %v\n",
+				float64(res.Time), float64(res.WorkTime), float64(res.Recovery), res.Attempts, res.L, res.Selection)
+			printTrace("matmul hmpi+chaos", len(cluster.Machines))
+			return
 		}
 		if *mode == "hmpi" || *mode == "both" {
 			ls := []int{*l}
@@ -125,6 +177,9 @@ func main() {
 			printTrace("matmul mpi", len(cluster.Machines))
 		}
 	case "jacobi":
+		if *chaosSpec != "" {
+			fatal(errors.New("-chaos supports em3d and matmul only"))
+		}
 		pr, err := jacobi.Generate(jacobi.Config{Rows: *gridRows, Cols: *gridRows, Iters: *iters, P: *subbodies})
 		if err != nil {
 			fatal(err)

@@ -1,14 +1,17 @@
-// Fault tolerance: the paper names surviving resource failures (after
+// Self-healing HMPI: the paper names surviving resource failures (after
 // FT-MPI) as a necessary ingredient of a future heterogeneous
 // message-passing standard and lists it as a direction for HMPI. This
-// repository implements the ingredient as an extension: failure injection,
-// failure-aware blocking operations (a receive from a dead process errors
-// instead of hanging), group health queries, and failure-aware group
-// selection.
+// repository implements the ingredient in three layers, all shown here:
 //
-// The example runs a workload, kills the fastest machine, shows that the
-// runtime surfaces the failure, and then re-creates the group — which now
-// avoids the dead machine — and completes the work.
+//  1. Failure detection — a blocked operation on a dead process aborts
+//     with a ProcessFailedError instead of hanging; mpi.Catch turns the
+//     abort into an error the application can handle.
+//  2. ULFM-style communicator primitives — Revoke, AgreeFailed, Shrink —
+//     plus HMPI_Group_recreate, which re-runs the performance-model-driven
+//     selection over the surviving processors.
+//  3. The self-healing harness — RunResilient retries the work on a
+//     recreated group until it completes, while a deterministic chaos
+//     schedule kills processes at fixed virtual times.
 //
 // Run: go run ./examples/faulttolerance
 package main
@@ -18,6 +21,7 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/chaos"
 	"repro/internal/hmpi"
 	"repro/internal/hnoc"
 	"repro/internal/mpi"
@@ -37,77 +41,43 @@ algorithm Workers(int p, int v[p]) {
 `
 
 func main() {
-	cluster := hnoc.Paper9()
 	model, err := pmdl.ParseModel(modelSrc)
 	if err != nil {
 		log.Fatal(err)
 	}
 	workload := []int{10, 200, 80}
 
-	// --- Round 1: all machines healthy. ---
-	rt1, err := hmpi.New(hmpi.Config{Cluster: cluster})
+	// --- Layer 1: a blocked receive surfaces the failure. ---
+	rt1, err := hmpi.New(hmpi.Config{Cluster: hnoc.Paper9()})
 	if err != nil {
 		log.Fatal(err)
 	}
-	var healthySel []int
 	err = rt1.Run(func(h *hmpi.Process) error {
-		var g *hmpi.Group
-		var err error
-		if h.IsHost() || h.IsFree() {
-			g, err = h.GroupCreate(model, len(workload), workload)
-			if err != nil {
-				return err
+		switch h.Rank() {
+		case 0:
+			// Waits for a message the dying process will never send; Catch
+			// converts the abort into an error instead of a crash.
+			err := mpi.Catch(func() { h.CommWorld().Recv(6, 0) })
+			var pf *mpi.ProcessFailedError
+			if !errors.As(err, &pf) {
+				return fmt.Errorf("expected a ProcessFailedError, got %v", err)
 			}
-		}
-		if h.IsMember(g) {
-			if h.IsHost() {
-				healthySel = g.WorldRanks()
-			}
-			h.Proc().Compute(float64(workload[g.Rank()]))
-			g.Comm().Barrier()
-			return h.GroupFree(g)
+			fmt.Printf("blocked receive aborted cleanly: %v\n", err)
+		case 6:
+			rt1.InjectFailure(6) // the machine crashes mid-run
 		}
 		return nil
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("healthy network: heavy worker on %s, selection %v\n",
-		cluster.Machines[healthySel[1]].Name, healthySel)
 
-	// --- A blocked receive surfaces the failure instead of hanging. ---
-	rt2, err := hmpi.New(hmpi.Config{Cluster: cluster})
+	// --- Layer 2: revoke, agree, recreate around a mid-group failure. ---
+	rt2, err := hmpi.New(hmpi.Config{Cluster: hnoc.Paper9()})
 	if err != nil {
 		log.Fatal(err)
 	}
 	err = rt2.Run(func(h *hmpi.Process) error {
-		switch h.Rank() {
-		case 0:
-			// Waits for a message the dying process will never send.
-			h.CommWorld().Recv(6, 0)
-		case 6:
-			rt2.InjectFailure(6) // the machine crashes mid-run
-		}
-		return nil
-	})
-	var pf *mpi.ProcessFailedError
-	if errors.As(err, &pf) {
-		fmt.Printf("blocked receive aborted cleanly: %v\n", err)
-	} else {
-		log.Fatalf("expected a ProcessFailedError, got %v", err)
-	}
-
-	// --- Round 2: recover by re-creating the group without machine 6. ---
-	rt3, err := hmpi.New(hmpi.Config{Cluster: cluster})
-	if err != nil {
-		log.Fatal(err)
-	}
-	rt3.InjectFailure(6) // pg1cluster01 (speed 176) is gone
-	var recoverySel []int
-	err = rt3.Run(func(h *hmpi.Process) error {
-		if h.Rank() == 6 {
-			return nil // the dead process does not participate
-		}
 		var g *hmpi.Group
 		var err error
 		if h.IsHost() || h.IsFree() {
@@ -116,24 +86,94 @@ func main() {
 				return err
 			}
 		}
-		if h.IsMember(g) {
-			if !g.Healthy() {
-				return fmt.Errorf("recovery group contains a failed process")
+		if !h.IsMember(g) {
+			// Free processes take part in the recreation like any other:
+			// the parent may select them into the replacement group.
+			ng, err := h.GroupCreate(nil)
+			if err != nil {
+				return err
 			}
+			if h.IsMember(ng) {
+				ng.Comm().Barrier()
+			}
+			return nil
+		}
+		victim := g.WorldRanks()[g.Size()-1]
+		if h.Rank() == victim {
+			rt2.InjectFailure(victim)
+			return nil // silent corpse; peers see the failure
+		}
+		// The work phase aborts on the failure; Catch it, revoke so no
+		// member stays blocked on a live peer, and agree on who died —
+		// every survivor gets the same failed set.
+		werr := mpi.Catch(func() {
+			for {
+				g.Comm().Barrier()
+			}
+		})
+		g.Comm().Revoke()
+		failed := g.Comm().AgreeFailed()
+		if h.IsHost() {
+			fmt.Printf("work aborted (%v); members agree ranks %v failed\n", werr, failed)
+		}
+		var ng *hmpi.Group
+		if g.Rank() == g.ParentRank() {
+			ng, err = h.GroupRecreate(g, model, len(workload), workload)
+		} else {
+			ng, err = h.GroupRecreate(g, nil)
+		}
+		if err != nil {
+			return err
+		}
+		if h.IsMember(ng) {
+			ng.Comm().Barrier() // fully functional again
 			if h.IsHost() {
-				recoverySel = g.WorldRanks()
+				fmt.Printf("group recreated over the survivors: %v -> %v\n",
+					g.WorldRanks(), ng.WorldRanks())
 			}
-			h.Proc().Compute(float64(workload[g.Rank()]))
-			g.Comm().Barrier()
-			return h.GroupFree(g)
 		}
 		return nil
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("after failure:   heavy worker on %s, selection %v\n",
-		cluster.Machines[recoverySel[1]].Name, recoverySel)
-	fmt.Println("\nGroup re-creation around the failed machine completed the work —")
-	fmt.Println("the recovery pattern FT-MPI pioneered, driven by HMPI's selection.")
+
+	// --- Layer 3: RunResilient under a deterministic chaos schedule. ---
+	rt3, err := hmpi.New(hmpi.Config{Cluster: hnoc.Paper9()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Kill rank 6 — the fastest machine, certain to be selected — the
+	// first time its virtual clock passes 1ms.
+	sched, err := chaos.Parse("6@0.001", rt3.World().Size())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sched.Attach(rt3.World(), func(e chaos.Event) {
+		fmt.Printf("chaos: rank %d killed at t=%gs\n", e.Rank, float64(e.At))
+	}); err != nil {
+		log.Fatal(err)
+	}
+	attempts := 0
+	var selections [][]int
+	err = rt3.Run(func(h *hmpi.Process) error {
+		return h.RunResilient(hmpi.FixedPlan(model, len(workload), workload),
+			func(g *hmpi.Group) error {
+				if h.IsHost() {
+					attempts++
+					selections = append(selections, g.WorldRanks())
+				}
+				h.Proc().Compute(float64(workload[g.Rank()]))
+				g.Comm().Barrier()
+				return nil
+			})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("self-healing run finished after %d attempt(s): selections %v\n",
+		attempts, selections)
+	fmt.Println("\nDetection, agreement, and model-driven re-selection completed the")
+	fmt.Println("work around the failure — the recovery pattern FT-MPI pioneered,")
+	fmt.Println("driven by HMPI's performance-model group selection.")
 }

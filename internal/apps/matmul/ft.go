@@ -1,0 +1,83 @@
+package matmul
+
+import (
+	"repro/internal/hmpi"
+	"repro/internal/pmdl"
+	"repro/internal/vclock"
+)
+
+// FTResult reports a fault-tolerant run.
+type FTResult struct {
+	Result
+	// Attempts is how many times the multiplication was started: 1 plus
+	// the number of recoveries.
+	Attempts int
+	// WorkTime is the simulated duration of the final, successful attempt.
+	WorkTime vclock.Time
+	// Recovery is the simulated time lost to failed attempts and group
+	// recreation: Time - WorkTime.
+	Recovery vclock.Time
+}
+
+// RunResilientHMPI executes the HMPI matrix multiplication under the
+// self-healing harness with a fixed generalised block size l: on a member
+// failure the grid is re-arranged from the surviving processes' speeds,
+// the group recreated, and the multiplication restarted from the
+// replicated input matrices. The host (rank 0) must survive.
+func RunResilientHMPI(rt *hmpi.Runtime, pr *Problem, l int, opts RunOptions) (FTResult, error) {
+	var res FTResult
+	model := Model()
+	err := rt.Run(func(h *hmpi.Process) error {
+		start := h.Proc().Now()
+		var hostDist *Dist
+		plan := func(int) (*pmdl.Model, []any, error) {
+			// Re-arrange the speed grid over the survivors: a dead
+			// process must neither occupy a grid cell nor shape the
+			// distribution.
+			speeds := h.Speeds()
+			for r := range speeds {
+				if rt.World().IsFailed(r) {
+					speeds[r] = 0
+				}
+			}
+			grid, _, err := ArrangeGrid(speeds, hmpi.HostRank, pr.M)
+			if err != nil {
+				return nil, nil, err
+			}
+			d, err := NewHetero(grid, l, pr.N, pr.R)
+			if err != nil {
+				return nil, nil, err
+			}
+			hostDist = d
+			return model, d.ModelArgs(), nil
+		}
+		return h.RunResilient(plan, func(g *hmpi.Group) error {
+			// First attempt timed from the start of the resilient region so
+			// initial group creation counts as work, not recovery.
+			attemptStart := h.Proc().Now()
+			if h.IsHost() {
+				res.Attempts++
+				if res.Attempts == 1 {
+					attemptStart = start
+				}
+			}
+			comm := g.Comm()
+			dist := bcastDist(comm, hostDist, pr)
+			c, err := RunParallel(comm, pr, dist, opts)
+			if err != nil {
+				return err
+			}
+			comm.Barrier()
+			if h.IsHost() {
+				res.Time = h.Proc().Now() - start
+				res.WorkTime = h.Proc().Now() - attemptStart
+				res.Selection = g.WorldRanks()
+				res.L = dist.L()
+				res.C = c
+			}
+			return nil
+		})
+	})
+	res.Recovery = res.Time - res.WorkTime
+	return res, err
+}

@@ -1,0 +1,191 @@
+// Package chaos injects deterministic process failures into simulated HMPI
+// runs. A Schedule lists which ranks die and at which virtual time; because
+// the simulation's clocks are virtual, the same schedule on the same
+// program produces the same execution every run — failures are
+// reproducible, unlike wall-clock fault injection.
+//
+// Schedules come from a compact spec string (see Parse) or from a seeded
+// random generator (Random). Attach arms a schedule on a world: each
+// victim dies on its own goroutine at the first operation boundary
+// (compute, send, receive) where its virtual clock has passed the
+// scheduled time, via the library's KilledError, so the death is silent on
+// the victim and surfaces only as a ProcessFailedError on the survivors.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/mpi"
+	"repro/internal/vclock"
+)
+
+// Event schedules the failure of one rank at a virtual time.
+type Event struct {
+	// Rank is the world rank to kill.
+	Rank int
+	// At is the virtual time (seconds) at or after which the rank dies.
+	At vclock.Time
+}
+
+// Schedule is a deterministic fault plan: a set of kill events. The zero
+// value is an empty schedule (no failures).
+type Schedule struct {
+	Events []Event
+}
+
+// String renders the schedule in the spec format Parse accepts.
+func (s *Schedule) String() string {
+	parts := make([]string, len(s.Events))
+	for i, e := range s.Events {
+		parts[i] = fmt.Sprintf("%d@%g", e.Rank, float64(e.At))
+	}
+	return strings.Join(parts, ";")
+}
+
+// Parse builds a schedule from a spec string. Two forms are accepted:
+//
+//	"3@0.5;5@1.2"                 kill rank 3 at t=0.5s, rank 5 at t=1.2s
+//	"rand:k=2,seed=42,tmax=1.0"   kill k random non-host ranks, each at a
+//	                              seeded-random time in (0, tmax]
+//
+// worldSize bounds the ranks. Events are returned sorted by time. An empty
+// spec yields an empty schedule.
+func Parse(spec string, worldSize int) (*Schedule, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return &Schedule{}, nil
+	}
+	if rest, ok := strings.CutPrefix(spec, "rand:"); ok {
+		k, seed, tmax := 1, int64(1), 1.0
+		for _, kv := range strings.Split(rest, ",") {
+			key, val, found := strings.Cut(strings.TrimSpace(kv), "=")
+			if !found {
+				return nil, fmt.Errorf("chaos: bad random spec element %q (want key=value)", kv)
+			}
+			switch key {
+			case "k":
+				v, err := strconv.Atoi(val)
+				if err != nil {
+					return nil, fmt.Errorf("chaos: bad k: %v", err)
+				}
+				k = v
+			case "seed":
+				v, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("chaos: bad seed: %v", err)
+				}
+				seed = v
+			case "tmax":
+				v, err := strconv.ParseFloat(val, 64)
+				if err != nil {
+					return nil, fmt.Errorf("chaos: bad tmax: %v", err)
+				}
+				tmax = v
+			default:
+				return nil, fmt.Errorf("chaos: unknown random spec key %q", key)
+			}
+		}
+		return Random(k, seed, tmax, worldSize)
+	}
+	var s Schedule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		rankStr, atStr, found := strings.Cut(part, "@")
+		if !found {
+			return nil, fmt.Errorf("chaos: bad event %q (want rank@time)", part)
+		}
+		rank, err := strconv.Atoi(strings.TrimSpace(rankStr))
+		if err != nil {
+			return nil, fmt.Errorf("chaos: bad rank in %q: %v", part, err)
+		}
+		at, err := strconv.ParseFloat(strings.TrimSpace(atStr), 64)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: bad time in %q: %v", part, err)
+		}
+		if rank < 0 || rank >= worldSize {
+			return nil, fmt.Errorf("chaos: rank %d outside world of size %d", rank, worldSize)
+		}
+		if at < 0 {
+			return nil, fmt.Errorf("chaos: negative kill time in %q", part)
+		}
+		s.Events = append(s.Events, Event{Rank: rank, At: vclock.Time(at)})
+	}
+	sortEvents(s.Events)
+	return &s, nil
+}
+
+// Random builds a schedule killing k distinct non-host ranks (the host,
+// rank 0, coordinates recovery and must survive), each at a seeded-random
+// virtual time in (0, tmax]. The same arguments always produce the same
+// schedule.
+func Random(k int, seed int64, tmax float64, worldSize int) (*Schedule, error) {
+	if k < 0 || k > worldSize-1 {
+		return nil, fmt.Errorf("chaos: cannot kill %d of %d non-host ranks", k, worldSize-1)
+	}
+	if tmax <= 0 {
+		return nil, fmt.Errorf("chaos: tmax must be positive, got %g", tmax)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	victims := rng.Perm(worldSize - 1)[:k] // over ranks 1..worldSize-1
+	s := &Schedule{}
+	for _, v := range victims {
+		at := vclock.Time((1 - rng.Float64()) * tmax) // in (0, tmax]
+		s.Events = append(s.Events, Event{Rank: v + 1, At: at})
+	}
+	sortEvents(s.Events)
+	return s, nil
+}
+
+func sortEvents(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].At != evs[j].At {
+			return evs[i].At < evs[j].At
+		}
+		return evs[i].Rank < evs[j].Rank
+	})
+}
+
+// Attach arms the schedule on the world: each victim is killed on its own
+// goroutine at the first operation boundary where its virtual clock has
+// reached the event time. onKill, when non-nil, observes each event as it
+// fires (before the process dies) — useful for logging and tests. Install
+// before Run; each event fires at most once.
+//
+// A process that never reaches another operation boundary — blocked
+// forever in a receive — cannot be killed this way; schedules should
+// target processes that compute or communicate, which all working group
+// members do.
+func (s *Schedule) Attach(w *mpi.World, onKill func(Event)) error {
+	byRank := make(map[int][]int)
+	for i, e := range s.Events {
+		if e.Rank < 0 || e.Rank >= w.Size() {
+			return fmt.Errorf("chaos: rank %d outside world of size %d", e.Rank, w.Size())
+		}
+		byRank[e.Rank] = append(byRank[e.Rank], i)
+	}
+	if len(byRank) == 0 {
+		return nil
+	}
+	fired := make([]atomic.Bool, len(s.Events))
+	w.SetFaultHook(func(rank int, now vclock.Time) {
+		for _, i := range byRank[rank] {
+			e := s.Events[i]
+			if now >= e.At && fired[i].CompareAndSwap(false, true) {
+				if onKill != nil {
+					onKill(e)
+				}
+				w.Fail(e.Rank)
+				panic(&mpi.KilledError{Rank: e.Rank})
+			}
+		}
+	})
+	return nil
+}

@@ -1,0 +1,187 @@
+package chaos
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/hnoc"
+	"repro/internal/mpi"
+	"repro/internal/vclock"
+)
+
+func TestParseExplicit(t *testing.T) {
+	s, err := Parse(" 5@1.2 ; 3@0.5 ", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{{Rank: 3, At: 0.5}, {Rank: 5, At: 1.2}}
+	if !reflect.DeepEqual(s.Events, want) {
+		t.Fatalf("Events = %v, want %v (sorted by time)", s.Events, want)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	s, err := Parse("", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 0 {
+		t.Fatalf("empty spec produced events %v", s.Events)
+	}
+	if err := s.Attach(nil, nil); err != nil {
+		t.Fatalf("empty schedule Attach: %v", err)
+	}
+}
+
+func TestParseRandom(t *testing.T) {
+	s, err := Parse("rand:k=2,seed=42,tmax=1.0", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 2 {
+		t.Fatalf("got %d events, want 2", len(s.Events))
+	}
+	seen := map[int]bool{}
+	for _, e := range s.Events {
+		if e.Rank < 1 || e.Rank > 5 {
+			t.Fatalf("rank %d outside 1..5 (host must never be killed)", e.Rank)
+		}
+		if seen[e.Rank] {
+			t.Fatalf("rank %d killed twice", e.Rank)
+		}
+		seen[e.Rank] = true
+		if e.At <= 0 || e.At > 1.0 {
+			t.Fatalf("time %g outside (0, 1]", float64(e.At))
+		}
+	}
+	direct, err := Random(2, 42, 1.0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Events, direct.Events) {
+		t.Fatalf("Parse(rand:...) = %v, Random(...) = %v; want identical", s.Events, direct.Events)
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a, err := Random(3, 7, 2.5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(3, 7, 2.5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatalf("same seed produced different schedules: %v vs %v", a.Events, b.Events)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		size int
+	}{
+		{"x@1", 4},
+		{"3@", 4},
+		{"3@-1", 4},
+		{"3", 4},
+		{"9@0.5", 4},
+		{"rand:k=9", 4},
+		{"rand:k=x", 4},
+		{"rand:k=1,bogus=2", 4},
+		{"rand:k=1,tmax=0", 4},
+		{"rand:seed", 4},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.spec, c.size); err == nil {
+			t.Errorf("Parse(%q, %d) accepted a bad spec", c.spec, c.size)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	s, err := Parse("1@0.25;3@0.75", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(s.String(), 4)
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", s.String(), err)
+	}
+	if !reflect.DeepEqual(s.Events, back.Events) {
+		t.Fatalf("round trip changed the schedule: %v vs %v", s.Events, back.Events)
+	}
+}
+
+func TestAttachRejectsOutOfRangeRank(t *testing.T) {
+	w := mpi.NewWorld(hnoc.Homogeneous(3, 10), []int{0, 1, 2})
+	s := &Schedule{Events: []Event{{Rank: 7, At: 0.5}}}
+	if err := s.Attach(w, nil); err == nil {
+		t.Fatal("Attach accepted a rank outside the world")
+	}
+}
+
+// TestAttachKillsAtVirtualTime checks the core contract: the victim dies at
+// the first operation boundary past the scheduled virtual time, on its own
+// goroutine, and survivors observe it as a ProcessFailedError.
+func TestAttachKillsAtVirtualTime(t *testing.T) {
+	w := mpi.NewWorld(hnoc.Homogeneous(3, 10), []int{0, 1, 2})
+	s := &Schedule{Events: []Event{{Rank: 2, At: 0.45}}}
+	var fired atomic.Int32
+	var killTime atomic.Value
+	if err := s.Attach(w, func(e Event) {
+		fired.Add(1)
+		killTime.Store(e.At)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var victimFinished atomic.Bool
+	done := make(chan error, 1)
+	go func() {
+		done <- w.Run(func(p *mpi.Proc) error {
+			switch p.Rank() {
+			case 2:
+				// Each unit takes 0.1s at speed 10; the kill must fire at
+				// the tick where the clock first reaches >= 0.45, i.e. 0.5.
+				for i := 0; i < 100; i++ {
+					p.Compute(1)
+				}
+				victimFinished.Store(true)
+				return nil
+			case 1:
+				err := mpi.Catch(func() { p.CommWorld().Recv(2, 9) })
+				var pfe *mpi.ProcessFailedError
+				if !errors.As(err, &pfe) || pfe.Rank != 2 {
+					t.Errorf("survivor got %v, want ProcessFailedError{Rank: 2}", err)
+				}
+				return nil
+			default:
+				return nil
+			}
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("world did not finish: chaos kill left a process blocked")
+	}
+	if victimFinished.Load() {
+		t.Fatal("victim completed its loop despite the scheduled kill")
+	}
+	if got := fired.Load(); got != 1 {
+		t.Fatalf("onKill fired %d times, want 1", got)
+	}
+	if !w.IsFailed(2) {
+		t.Fatal("rank 2 not marked failed in the world")
+	}
+	if at := killTime.Load().(vclock.Time); at != 0.45 {
+		t.Fatalf("onKill saw event time %g, want 0.45", float64(at))
+	}
+}

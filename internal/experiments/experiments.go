@@ -41,18 +41,19 @@ type Generator func() (*Figure, error)
 // Registry maps figure IDs to their generators.
 func Registry() map[string]Generator {
 	return map[string]Generator{
-		"9a":        Fig9a,
-		"9b":        Fig9b,
-		"10":        Fig10,
-		"10b":       Fig10b,
-		"11a":       Fig11a,
-		"11b":       Fig11b,
-		"timeof":    TableTimeof,
-		"mapper":    TableMapper,
-		"nic":       TableNICAblation,
-		"estimator": TableEstimatorAblation,
-		"hetero":    TableHeterogeneity,
-		"jacobi":    TableJacobi,
+		"9a":          Fig9a,
+		"9b":          Fig9b,
+		"10":          Fig10,
+		"10b":         Fig10b,
+		"11a":         Fig11a,
+		"11b":         Fig11b,
+		"timeof":      TableTimeof,
+		"mapper":      TableMapper,
+		"nic":         TableNICAblation,
+		"estimator":   TableEstimatorAblation,
+		"hetero":      TableHeterogeneity,
+		"jacobi":      TableJacobi,
+		"degradation": TableDegradation,
 	}
 }
 

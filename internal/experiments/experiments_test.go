@@ -192,6 +192,35 @@ func TestSpreadClusterInvariants(t *testing.T) {
 	}
 }
 
+// TestDegradationTable checks the fault-injection experiment: zero
+// recovery overhead without failures, and for every k > 0 a completed run
+// whose makespan exceeds the failure-free one by a positive recovery cost.
+func TestDegradationTable(t *testing.T) {
+	f, err := TableDegradation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	emT, emR := f.Series[0].Y, f.Series[1].Y
+	mmT, mmR := f.Series[2].Y, f.Series[3].Y
+	if emR[0] != 0 || mmR[0] != 0 {
+		t.Fatalf("failure-free recovery overhead nonzero: em3d %v, mm %v", emR[0], mmR[0])
+	}
+	for k := 1; k < len(f.X); k++ {
+		if emR[k] <= 0 {
+			t.Errorf("em3d k=%d: recovery overhead %v, want > 0", k, emR[k])
+		}
+		if emT[k] <= emT[0] {
+			t.Errorf("em3d k=%d: makespan %v not above failure-free %v", k, emT[k], emT[0])
+		}
+		if mmR[k] <= 0 {
+			t.Errorf("mm k=%d: recovery overhead %v, want > 0", k, mmR[k])
+		}
+		if mmT[k] <= mmT[0] {
+			t.Errorf("mm k=%d: makespan %v not above failure-free %v", k, mmT[k], mmT[0])
+		}
+	}
+}
+
 // TestFigureDeterminism: the whole pipeline is deterministic, so
 // regenerating a figure yields bit-identical numbers.
 func TestFigureDeterminism(t *testing.T) {

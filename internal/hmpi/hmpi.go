@@ -103,6 +103,13 @@ func New(cfg Config) (*Runtime, error) {
 	for i := range rt.free {
 		rt.free[i] = i != HostRank // the host is never "free": it is the parent
 	}
+	// Failure detection feeds the process registry: a failed process
+	// leaves the free pool, and its machine is marked dead so group
+	// selection and Timeof stop considering it.
+	rt.world.OnFail(func(rank int) {
+		rt.setFree(rank, false)
+		rt.cfg.Cluster.MarkFailed(rt.placement[rank])
+	})
 	return rt, nil
 }
 
@@ -118,11 +125,9 @@ func (rt *Runtime) Makespan() vclock.Time { return rt.world.Makespan() }
 
 // InjectFailure marks a process as failed (fault-tolerance extension):
 // pending and future communication with it errors instead of hanging, and
-// group selection stops considering it.
+// group selection stops considering it. The registered failure hook does
+// the registry bookkeeping.
 func (rt *Runtime) InjectFailure(rank int) {
-	rt.freeMu.Lock()
-	rt.free[rank] = false
-	rt.freeMu.Unlock()
 	rt.world.Fail(rank)
 }
 
@@ -156,7 +161,7 @@ func (rt *Runtime) freeRanks() []int {
 	defer rt.freeMu.Unlock()
 	var out []int
 	for r, f := range rt.free {
-		if f && !rt.world.IsFailed(r) {
+		if f && !rt.world.IsFailed(r) && !rt.cfg.Cluster.IsMachineFailed(rt.placement[r]) {
 			out = append(out, r)
 		}
 	}

@@ -177,86 +177,123 @@ func (h *Process) GroupCreateChild(model *pmdl.Model, args ...any) (*Group, erro
 // createGroup is the shared implementation: the parent (isParent) solves
 // the selection and distributes it; free processes receive it.
 func (h *Process) createGroup(isParent bool, model *pmdl.Model, args []any) (*Group, error) {
-	me := h.Rank()
-	comm := h.CommWorld()
-
-	var ranks []int
-	var key int64
-	var parentIdx int
 	if isParent {
 		if model == nil {
 			return nil, fmt.Errorf("hmpi: the parent must supply a model to GroupCreate")
 		}
-		inst, asg, err := h.solveSelection(model, args, me)
+		inst, asg, err := h.solveSelection(model, args, h.Rank())
 		if err != nil {
 			return nil, err
 		}
-		ranks = asg.Ranks
-		parentIdx = inst.Parent
-		key = h.rt.allocGroupKey()
-		// Phase 1: distribute the decision (prefixed with the parent's
-		// rank so recipients can acknowledge) to every free process.
-		msg := make([]int64, 0, len(ranks)+3)
-		msg = append(msg, int64(me), key, int64(parentIdx))
-		for _, r := range ranks {
-			msg = append(msg, int64(r))
-		}
-		payload := mpi.Int64Bytes(msg)
-		recipients := h.rt.freeRanks()
-		if debugGroups {
-			fmt.Printf("[dbg] parent %d sending to %v ranks=%v\n", me, recipients, ranks)
-		}
-		for _, r := range recipients {
-			if r == me {
-				continue
-			}
-			comm.Send(r, tagGroupCreate, payload)
-		}
-		// Phase 2: collect acknowledgements, then commit. Only after
-		// the commit may any participant act on the new group, which
-		// keeps successive creations ordered even across different
-		// parent processes.
-		for _, r := range recipients {
-			if r == me {
-				continue
-			}
-			if debugGroups {
-				fmt.Printf("[dbg] parent %d awaiting ack from %d\n", me, r)
-			}
-			comm.Recv(r, tagGroupAck)
-		}
-		for _, r := range recipients {
-			if r == me {
-				continue
-			}
-			comm.Send(r, tagGroupCommit, nil)
-		}
-	} else {
-		// The parent may be the host or any busy process spawning a
-		// child group; receive from whoever initiates.
-		if debugGroups {
-			fmt.Printf("[dbg] free %d awaiting decision\n", me)
-		}
-		payload, _ := comm.Recv(mpi.AnySource, tagGroupCreate)
-		msg := mpi.BytesInt64(payload)
-		parentRank := int(msg[0])
-		key = msg[1]
-		parentIdx = int(msg[2])
-		ranks = make([]int, len(msg)-3)
-		for i, v := range msg[3:] {
-			ranks[i] = int(v)
-		}
-		// Update the free flag BEFORE acknowledging: the parent's
-		// commit (and hence any subsequent creation's free-set
-		// snapshot, by any future parent) must observe this process as
-		// busy if it was selected.
-		if indexOf(ranks, me) >= 0 {
-			h.rt.setFree(me, false)
-		}
-		comm.Send(parentRank, tagGroupAck, nil)
-		comm.Recv(parentRank, tagGroupCommit)
+		return h.distributeGroup(asg.Ranks, inst.Parent)
 	}
+	return h.receiveGroup()
+}
 
+// distributeGroup runs the parent side of the two-phase creation protocol
+// over a precomputed selection. Sends to (and acknowledgements from)
+// processes that fail mid-protocol are skipped: a selected process that
+// dies during creation surfaces through the first operation on the group,
+// not by deadlocking the creation itself.
+func (h *Process) distributeGroup(ranks []int, parentIdx int) (*Group, error) {
+	me := h.Rank()
+	comm := h.CommWorld()
+	key := h.rt.allocGroupKey()
+	// Phase 1: distribute the decision (prefixed with the parent's
+	// rank so recipients can acknowledge) to every free process.
+	msg := make([]int64, 0, len(ranks)+3)
+	msg = append(msg, int64(me), key, int64(parentIdx))
+	for _, r := range ranks {
+		msg = append(msg, int64(r))
+	}
+	payload := mpi.Int64Bytes(msg)
+	recipients := h.rt.freeRanks()
+	if debugGroups {
+		fmt.Printf("[dbg] parent %d sending to %v ranks=%v\n", me, recipients, ranks)
+	}
+	for _, r := range recipients {
+		if r == me {
+			continue
+		}
+		r := r
+		_ = mpi.Catch(func() { comm.Send(r, tagGroupCreate, payload) })
+	}
+	// Phase 2: collect acknowledgements, then commit. Only after
+	// the commit may any participant act on the new group, which
+	// keeps successive creations ordered even across different
+	// parent processes.
+	for _, r := range recipients {
+		if r == me {
+			continue
+		}
+		if debugGroups {
+			fmt.Printf("[dbg] parent %d awaiting ack from %d\n", me, r)
+		}
+		r := r
+		_ = mpi.Catch(func() { comm.Recv(r, tagGroupAck) })
+	}
+	for _, r := range recipients {
+		if r == me {
+			continue
+		}
+		r := r
+		_ = mpi.Catch(func() { comm.Send(r, tagGroupCommit, nil) })
+	}
+	return h.buildGroup(ranks, parentIdx, key)
+}
+
+// abortGroupCreate tells every free process waiting in receiveGroup that
+// the pending creation is off (the parent's selection failed, typically
+// because too few processes survive for the model). The negative parent
+// rank is the abort marker.
+func (h *Process) abortGroupCreate() {
+	comm := h.CommWorld()
+	payload := mpi.Int64Bytes([]int64{-1})
+	for _, r := range h.rt.freeRanks() {
+		if r == h.Rank() {
+			continue
+		}
+		r := r
+		_ = mpi.Catch(func() { comm.Send(r, tagGroupCreate, payload) })
+	}
+}
+
+// receiveGroup runs the free-process side of the creation protocol.
+func (h *Process) receiveGroup() (*Group, error) {
+	me := h.Rank()
+	comm := h.CommWorld()
+	// The parent may be the host or any busy process spawning a
+	// child group; receive from whoever initiates.
+	if debugGroups {
+		fmt.Printf("[dbg] free %d awaiting decision\n", me)
+	}
+	payload, _ := comm.Recv(mpi.AnySource, tagGroupCreate)
+	msg := mpi.BytesInt64(payload)
+	if msg[0] < 0 {
+		return nil, fmt.Errorf("hmpi: group creation aborted by the parent")
+	}
+	parentRank := int(msg[0])
+	key := msg[1]
+	parentIdx := int(msg[2])
+	ranks := make([]int, len(msg)-3)
+	for i, v := range msg[3:] {
+		ranks[i] = int(v)
+	}
+	// Update the free flag BEFORE acknowledging: the parent's
+	// commit (and hence any subsequent creation's free-set
+	// snapshot, by any future parent) must observe this process as
+	// busy if it was selected.
+	if indexOf(ranks, me) >= 0 {
+		h.rt.setFree(me, false)
+	}
+	comm.Send(parentRank, tagGroupAck, nil)
+	comm.Recv(parentRank, tagGroupCommit)
+	return h.buildGroup(ranks, parentIdx, key)
+}
+
+// buildGroup materialises the local group handle from an agreed selection.
+func (h *Process) buildGroup(ranks []int, parentIdx int, key int64) (*Group, error) {
+	me := h.Rank()
 	g := &Group{
 		rt:        h.rt,
 		ranks:     append([]int(nil), ranks...),
@@ -283,11 +320,14 @@ func indexOf(xs []int, x int) int {
 
 // GroupFree implements HMPI_Group_free: a collective operation over the
 // members of the group that dissolves it and returns its processes to the
-// free pool.
+// free pool. It is idempotent — freeing a nil group or one already freed is
+// a no-op — and safe when members have failed mid-group: the dissolution
+// barrier aborts instead of hanging, and the survivors are freed anyway.
 func (h *Process) GroupFree(g *Group) error {
-	if !h.IsMember(g) {
-		return fmt.Errorf("hmpi: process %d is not a member of the group", h.Rank())
+	if g == nil || g.freed || g.rank < 0 {
+		return nil
 	}
+	g.freed = true
 	// Mark ourselves free before the barrier: a dissemination barrier
 	// completes only after every member has entered it, so once any
 	// member (in particular the parent, which snapshots the free set in
@@ -297,7 +337,10 @@ func (h *Process) GroupFree(g *Group) error {
 	if h.Rank() != HostRank && h.Rank() != g.ranks[g.parentIdx] {
 		h.rt.setFree(h.Rank(), true)
 	}
-	g.comm.Barrier()
+	// A failed member must not wedge the survivors in the barrier; the
+	// failure (or a concurrent revocation) is tolerated, not propagated —
+	// the group is gone either way.
+	_ = mpi.Catch(func() { g.comm.Barrier() })
 	g.comm.Free()
 	g.rank = -1
 	return nil
@@ -326,6 +369,7 @@ type Group struct {
 	parentIdx int
 	rank      int // this process's group rank, -1 if not a member
 	comm      *mpi.Comm
+	freed     bool // set by GroupFree/GroupRecreate; makes freeing idempotent
 }
 
 // Rank implements HMPI_Group_rank: this process's rank in the group.

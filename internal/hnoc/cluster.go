@@ -2,6 +2,7 @@ package hnoc
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Protocol identifies the network protocol used between a pair of machines.
@@ -97,6 +98,29 @@ type Cluster struct {
 	// Overrides lists exceptional machine pairs (by machine index). An
 	// override applies in both directions.
 	Overrides []LinkOverride `json:"overrides,omitempty"`
+
+	// failMu guards the Failed flags, which the fault-tolerance runtime
+	// flips concurrently with readers.
+	failMu sync.Mutex
+}
+
+// MarkFailed marks machine i as crashed (fault-tolerance extension). A
+// failed machine's processes are excluded from group selection and from
+// Timeof predictions. Safe for concurrent use.
+func (c *Cluster) MarkFailed(i int) {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
+	if i >= 0 && i < len(c.Machines) {
+		c.Machines[i].Failed = true
+	}
+}
+
+// IsMachineFailed reports whether machine i has been marked failed. Safe
+// for concurrent use.
+func (c *Cluster) IsMachineFailed(i int) bool {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
+	return i >= 0 && i < len(c.Machines) && c.Machines[i].Failed
 }
 
 // LinkOverride customises the link between one machine pair.

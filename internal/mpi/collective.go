@@ -30,11 +30,12 @@ func (c *Comm) Barrier() {
 	if n == 1 {
 		return
 	}
+	c.collCheck()
 	me := c.rank
 	for k := 1; k < n; k *= 2 {
 		dst := (me + k) % n
 		src := (me - k + n) % n
-		c.Sendrecv(dst, tagBarrier, nil, src, tagBarrier)
+		c.collSendrecv(dst, tagBarrier, nil, src, tagBarrier)
 	}
 }
 
@@ -46,6 +47,7 @@ func (c *Comm) Bcast(root int, data []byte) []byte {
 	if n == 1 {
 		return data
 	}
+	c.collCheck()
 	// Rotate ranks so the root is virtual rank 0, then walk the binomial
 	// tree: receive from the parent (vrank with its lowest set bit
 	// cleared), then forward to each child vrank+mask for descending
@@ -55,7 +57,7 @@ func (c *Comm) Bcast(root int, data []byte) []byte {
 	for mask < n {
 		if vrank&mask != 0 {
 			src := (c.rank - mask + n) % n
-			data, _ = c.Recv(src, tagBcast)
+			data = c.collRecv(src, tagBcast)
 			break
 		}
 		mask <<= 1
@@ -84,6 +86,7 @@ func (c *Comm) Reduce(root int, data []byte, op Op) []byte {
 	if n == 1 {
 		return acc
 	}
+	c.collCheck()
 	vrank := (c.rank - root + n) % n
 	mask := 1
 	for mask < n {
@@ -94,7 +97,7 @@ func (c *Comm) Reduce(root int, data []byte, op Op) []byte {
 		}
 		child := vrank | mask
 		if child < n {
-			in, _ := c.Recv((child+root)%n, tagReduce)
+			in := c.collRecv((child+root)%n, tagReduce)
 			if len(in) != len(acc) {
 				panic(fmt.Sprintf("mpi: Reduce length mismatch: %d vs %d", len(in), len(acc)))
 			}
@@ -117,6 +120,9 @@ func (c *Comm) Allreduce(data []byte, op Op) []byte {
 // may have different sizes (this therefore also covers MPI_Gatherv).
 func (c *Comm) Gather(root int, data []byte) [][]byte {
 	c.checkRank("Gather", root)
+	if c.Size() > 1 {
+		c.collCheck()
+	}
 	if c.rank != root {
 		c.Send(root, tagGather, data)
 		return nil
@@ -129,7 +135,7 @@ func (c *Comm) Gather(root int, data []byte) [][]byte {
 		if r == root {
 			continue
 		}
-		out[r], _ = c.Recv(r, tagGather)
+		out[r] = c.collRecv(r, tagGather)
 	}
 	return out
 }
@@ -139,6 +145,9 @@ func (c *Comm) Gather(root int, data []byte) [][]byte {
 // entry per member (different sizes allowed, covering MPI_Scatterv).
 func (c *Comm) Scatter(root int, parts [][]byte) []byte {
 	c.checkRank("Scatter", root)
+	if c.Size() > 1 {
+		c.collCheck()
+	}
 	if c.rank == root {
 		if len(parts) != c.Size() {
 			panic(fmt.Sprintf("mpi: Scatter needs %d parts, got %d", c.Size(), len(parts)))
@@ -151,8 +160,7 @@ func (c *Comm) Scatter(root int, parts [][]byte) []byte {
 		}
 		return append([]byte(nil), parts[root]...)
 	}
-	data, _ := c.Recv(root, tagScatter)
-	return data
+	return c.collRecv(root, tagScatter)
 }
 
 // Allgather collects every member's data on every member (ring algorithm:
@@ -165,11 +173,12 @@ func (c *Comm) Allgather(data []byte) [][]byte {
 	if n == 1 {
 		return out
 	}
+	c.collCheck()
 	right := (c.rank + 1) % n
 	left := (c.rank - 1 + n) % n
 	cur := c.rank
 	for step := 0; step < n-1; step++ {
-		in, _ := c.Sendrecv(right, tagAllgather, out[cur], left, tagAllgather)
+		in := c.collSendrecv(right, tagAllgather, out[cur], left, tagAllgather)
 		cur = (cur - 1 + n) % n
 		out[cur] = in
 	}
@@ -186,10 +195,13 @@ func (c *Comm) Alltoall(parts [][]byte) [][]byte {
 	}
 	out := make([][]byte, n)
 	out[c.rank] = append([]byte(nil), parts[c.rank]...)
+	if n > 1 {
+		c.collCheck()
+	}
 	for step := 1; step < n; step++ {
 		dst := (c.rank + step) % n
 		src := (c.rank - step + n) % n
-		out[src], _ = c.Sendrecv(dst, tagAlltoall, parts[dst], src, tagAlltoall)
+		out[src] = c.collSendrecv(dst, tagAlltoall, parts[dst], src, tagAlltoall)
 	}
 	return out
 }
@@ -198,8 +210,11 @@ func (c *Comm) Alltoall(parts [][]byte) [][]byte {
 // op(data_0, ..., data_r) (linear-chain algorithm).
 func (c *Comm) Scan(data []byte, op Op) []byte {
 	acc := append([]byte(nil), data...)
+	if c.Size() > 1 {
+		c.collCheck()
+	}
 	if c.rank > 0 {
-		in, _ := c.Recv(c.rank-1, tagScan)
+		in := c.collRecv(c.rank-1, tagScan)
 		if len(in) != len(acc) {
 			panic(fmt.Sprintf("mpi: Scan length mismatch: %d vs %d", len(in), len(acc)))
 		}
@@ -217,9 +232,11 @@ func (c *Comm) Scan(data []byte, op Op) []byte {
 // op(data_0, ..., data_(r-1)); member 0 returns nil (MPI_Exscan).
 func (c *Comm) Exscan(data []byte, op Op) []byte {
 	var prefix []byte // op of ranks < me, nil on rank 0
+	if c.Size() > 1 {
+		c.collCheck()
+	}
 	if c.rank > 0 {
-		in, _ := c.Recv(c.rank-1, tagScan)
-		prefix = in
+		prefix = c.collRecv(c.rank-1, tagScan)
 	}
 	if c.rank < c.Size()-1 {
 		out := append([]byte(nil), data...)

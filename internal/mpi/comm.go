@@ -38,6 +38,7 @@ type Comm struct {
 	group *Group
 
 	deriveSeq int64 // per-process count of collective comm constructors
+	agreeSeq  int64 // per-process count of AgreeFailed calls (ft.go)
 }
 
 // Rank returns the calling process's rank in the communicator.

@@ -51,10 +51,10 @@ func (m *mailbox) put(e *envelope) {
 // get blocks until a message matching the predicate is present, removes it
 // from the queue and returns it. Among simultaneously queued matches the
 // earliest queued wins, which preserves per-sender FIFO (non-overtaking).
-// giveUp is re-checked whenever the mailbox wakes (a failure notification
-// broadcasts to all mailboxes); a non-negative return panics with a
-// *ProcessFailedError for that rank.
-func (m *mailbox) get(match func(*envelope) bool, giveUp func() int) *envelope {
+// giveUp is re-checked whenever the mailbox wakes (failure and revocation
+// notifications broadcast to all mailboxes); a non-nil return panics with
+// that error.
+func (m *mailbox) get(match func(*envelope) bool, giveUp func() error) *envelope {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
@@ -68,8 +68,8 @@ func (m *mailbox) get(match func(*envelope) bool, giveUp func() int) *envelope {
 			panic(&ProcessFailedError{Rank: m.owner})
 		}
 		if giveUp != nil {
-			if r := giveUp(); r >= 0 {
-				panic(&ProcessFailedError{Rank: r})
+			if err := giveUp(); err != nil {
+				panic(err)
 			}
 		}
 		m.cond.Wait()
@@ -85,7 +85,7 @@ func (m *mailbox) notify() {
 
 // peek blocks until a matching message is present and returns it without
 // removing it from the queue.
-func (m *mailbox) peek(match func(*envelope) bool, giveUp func() int) *envelope {
+func (m *mailbox) peek(match func(*envelope) bool, giveUp func() error) *envelope {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
@@ -98,8 +98,8 @@ func (m *mailbox) peek(match func(*envelope) bool, giveUp func() int) *envelope 
 			panic(&ProcessFailedError{Rank: m.owner})
 		}
 		if giveUp != nil {
-			if r := giveUp(); r >= 0 {
-				panic(&ProcessFailedError{Rank: r})
+			if err := giveUp(); err != nil {
+				panic(err)
 			}
 		}
 		m.cond.Wait()
@@ -160,7 +160,11 @@ func (c *Comm) checkRank(op string, rank int) {
 func (c *Comm) sendCommon(dst, tag int, data []byte, copyBuf bool) vclock.Time {
 	c.checkRank("Send", dst)
 	p := c.p
+	p.opTick()
 	dstW := c.s.members[dst]
+	if p.world.ctxRevoked(c.s.id) {
+		panic(&RevokedError{Ctx: c.s.id})
+	}
 	if p.world.IsFailed(dstW) {
 		panic(&ProcessFailedError{Rank: dstW})
 	}
@@ -248,36 +252,97 @@ func (c *Comm) matcher(src, tag int) func(*envelope) bool {
 }
 
 // failWatch returns the give-up predicate for a receive from src: if the
-// awaited sender fails while we are blocked, the receive aborts with a
-// *ProcessFailedError instead of hanging. AnySource receives cannot name a
-// single awaited sender; they abort only when every other member of the
-// communicator has failed.
-func (c *Comm) failWatch(src int) func() int {
+// awaited sender fails while we are blocked — or the communicator is
+// revoked — the receive aborts with an error instead of hanging. AnySource
+// receives cannot name a single awaited sender; they abort only when every
+// other member of the communicator has failed.
+func (c *Comm) failWatch(src int) func() error {
 	w := c.p.world
+	id := c.s.id
 	if src == AnySource {
 		members := c.s.members
 		me := c.p.rank
-		return func() int {
+		return func() error {
+			if w.ctxRevoked(id) {
+				return &RevokedError{Ctx: id}
+			}
 			failed := -1
 			for _, r := range members {
 				if r == me {
 					continue
 				}
 				if !w.IsFailed(r) {
-					return -1
+					return nil
 				}
 				failed = r
 			}
-			return failed
+			if failed < 0 {
+				return nil
+			}
+			return &ProcessFailedError{Rank: failed}
 		}
 	}
 	srcW := c.s.members[src]
-	return func() int {
-		if w.IsFailed(srcW) {
-			return srcW
+	return func() error {
+		if w.ctxRevoked(id) {
+			return &RevokedError{Ctx: id}
 		}
-		return -1
+		if w.IsFailed(srcW) {
+			return &ProcessFailedError{Rank: srcW}
+		}
+		return nil
 	}
+}
+
+// collWatch is the give-up predicate for collective operations: a
+// collective over a communicator cannot complete once any member has
+// failed (the communication tree is broken somewhere), so it aborts as
+// soon as any member is failed or the communicator is revoked — not just
+// the direct peer, which is what keeps survivors that were waiting on
+// still-alive neighbours from hanging.
+func (c *Comm) collWatch() func() error {
+	w := c.p.world
+	id := c.s.id
+	members := c.s.members
+	me := c.p.rank
+	return func() error {
+		if w.ctxRevoked(id) {
+			return &RevokedError{Ctx: id}
+		}
+		for _, r := range members {
+			if r != me && w.IsFailed(r) {
+				return &ProcessFailedError{Rank: r}
+			}
+		}
+		return nil
+	}
+}
+
+// collCheck aborts a collective at entry if a member is already failed or
+// the communicator is revoked, so every survivor reports the failure even
+// when its own part of the communication tree would not have touched the
+// failed process.
+func (c *Comm) collCheck() {
+	if err := c.collWatch()(); err != nil {
+		panic(err)
+	}
+}
+
+// collRecv is the failure-aware receive used inside collectives.
+func (c *Comm) collRecv(src, tag int) []byte {
+	t0 := c.p.clock.Now()
+	e := c.p.mbox.get(c.matcher(src, tag), c.collWatch())
+	c.finishRecv(e, t0)
+	return e.data
+}
+
+// collSendrecv is the failure-aware combined send/receive used inside
+// collectives.
+func (c *Comm) collSendrecv(dst, sendTag int, data []byte, src, recvTag int) []byte {
+	sreq := c.Isend(dst, sendTag, data)
+	buf := c.collRecv(src, recvTag)
+	sreq.Wait()
+	return buf
 }
 
 // finishRecv applies timing and statistics for a consumed envelope. t0 is
@@ -285,6 +350,7 @@ func (c *Comm) failWatch(src int) func() int {
 // interval.
 func (c *Comm) finishRecv(e *envelope, t0 vclock.Time) Status {
 	p := c.p
+	p.opTick()
 	link := p.world.cluster.Link(p.world.place[e.src], p.machine)
 	p.clock.AbsorbAtLeast(e.arrive)
 	p.clock.Advance(vclock.Time(link.Overhead))

@@ -9,6 +9,16 @@ package mpi
 // tests assert. This demonstrates that nothing in the library depends on
 // shared memory between processes; it is also the hook through which a
 // future multi-machine deployment would run.
+//
+// Failure detection (fault-tolerance extension): a peer whose socket
+// closes unexpectedly is marked failed, which wakes every blocked receiver
+// — the wire-level analogue of World.Fail. With heartbeats enabled, each
+// rank additionally emits periodic heartbeat frames on every connection; a
+// rank silent beyond the timeout is declared dead even if its sockets are
+// still open (a hung process). Writes that fail are retried over a bounded
+// number of re-dials with exponential backoff before the destination is
+// declared dead, and every write carries a deadline so a wedged kernel
+// buffer cannot block a sender forever.
 
 import (
 	"encoding/binary"
@@ -17,6 +27,8 @@ import (
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/hnoc"
 	"repro/internal/vclock"
@@ -26,13 +38,61 @@ import (
 // ctx, src, tag, seq (int64) + arrive (float64) + payload length (uint32).
 const frameHeaderLen = 8*5 + 4
 
+// heartbeatCtx is the reserved context id of heartbeat frames; it can
+// never collide with a communicator context (allocContext hands out
+// non-negative ids only).
+const heartbeatCtx = math.MinInt64
+
+// TCPOptions tune the TCP transport's failure-detection machinery. The
+// zero value disables heartbeats and reconnection: a closed socket then
+// marks the peer failed immediately.
+type TCPOptions struct {
+	// HeartbeatInterval is the period of heartbeat frames on every
+	// connection. Zero disables heartbeats.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is the silence after which a peer is declared
+	// dead. With heartbeats enabled, a socket close alone is not proof of
+	// death (the peer may be reconnecting); silence beyond this is.
+	HeartbeatTimeout time.Duration
+	// DialRetries bounds the re-dial attempts after a failed write
+	// before the destination is declared dead.
+	DialRetries int
+	// DialBackoff is the delay before the first re-dial; it doubles
+	// after every failed attempt.
+	DialBackoff time.Duration
+	// WriteTimeout is the per-operation deadline applied to every frame
+	// write. Zero means no deadline.
+	WriteTimeout time.Duration
+}
+
+// DefaultTCPOptions returns the failure-detection configuration used by
+// NewWorldTCP: heartbeats every 50 ms with a 2 s silence threshold, three
+// re-dial attempts starting at 10 ms backoff, and a 5 s write deadline.
+func DefaultTCPOptions() TCPOptions {
+	return TCPOptions{
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  2 * time.Second,
+		DialRetries:       3,
+		DialBackoff:       10 * time.Millisecond,
+		WriteTimeout:      5 * time.Second,
+	}
+}
+
 // tcpTransport carries envelopes over a loopback TCP mesh.
 type tcpTransport struct {
 	world *World
+	opts  TCPOptions
 
 	listeners []net.Listener
-	connMu    []sync.Mutex // per destination: serialises writers
+	connMu    []sync.Mutex // per (src,dst) pair: serialises writers and conn swaps
 	conns     [][]net.Conn // conns[src][dst]
+
+	// lastSeen[dst][src] is the UnixNano time dst's pump last heard any
+	// frame from src (heartbeat or payload).
+	lastSeen [][]atomic.Int64
+	// silenced[src] suppresses src's heartbeats — a test hook simulating
+	// a hung process whose sockets stay open.
+	silenced []atomic.Bool
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -40,12 +100,38 @@ type tcpTransport struct {
 }
 
 // NewWorldTCP creates a world whose messages travel over real TCP
-// connections on the loopback interface. The returned close function must
-// be called after Run to release the sockets.
+// connections on the loopback interface, with the default failure-detection
+// options. The returned close function must be called after Run to release
+// the sockets.
 func NewWorldTCP(cluster *hnoc.Cluster, placement []int) (*World, func() error, error) {
+	return NewWorldTCPOpts(cluster, placement, DefaultTCPOptions())
+}
+
+// NewWorldTCPOpts is NewWorldTCP with explicit failure-detection options.
+func NewWorldTCPOpts(cluster *hnoc.Cluster, placement []int, opts TCPOptions) (*World, func() error, error) {
 	w := NewWorld(cluster, placement)
-	t := &tcpTransport{world: w, closed: make(chan struct{})}
-	n := len(placement)
+	t, err := newTCPTransport(w, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, t.Close, nil
+}
+
+func newTCPTransport(w *World, opts TCPOptions) (*tcpTransport, error) {
+	t := &tcpTransport{world: w, opts: opts, closed: make(chan struct{})}
+	n := w.Size()
+
+	t.lastSeen = make([][]atomic.Int64, n)
+	for i := range t.lastSeen {
+		t.lastSeen[i] = make([]atomic.Int64, n)
+	}
+	t.silenced = make([]atomic.Bool, n)
+	now := time.Now().UnixNano()
+	for dst := 0; dst < n; dst++ {
+		for src := 0; src < n; src++ {
+			t.lastSeen[dst][src].Store(now)
+		}
+	}
 
 	// One listener per rank.
 	t.listeners = make([]net.Listener, n)
@@ -53,43 +139,19 @@ func NewWorldTCP(cluster *hnoc.Cluster, placement []int) (*World, func() error, 
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			t.Close()
-			return nil, nil, fmt.Errorf("mpi: listen for rank %d: %w", r, err)
+			return nil, fmt.Errorf("mpi: listen for rank %d: %w", r, err)
 		}
 		t.listeners[r] = ln
 	}
 
 	// Accept loops: each inbound connection self-identifies with its
 	// source rank in the first 8 bytes, then streams frames destined for
-	// the listener's rank.
+	// the listener's rank. The loop keeps accepting after startup so a
+	// sender can re-dial (reconnect after a transient failure).
 	accepted := make(chan error, n)
 	for r := 0; r < n; r++ {
-		go func(dst int) {
-			need := n - 1
-			if need == 0 {
-				accepted <- nil
-				return
-			}
-			for i := 0; i < need; i++ {
-				conn, err := t.listeners[dst].Accept()
-				if err != nil {
-					accepted <- err
-					return
-				}
-				var hdr [8]byte
-				if _, err := io.ReadFull(conn, hdr[:]); err != nil {
-					accepted <- err
-					return
-				}
-				src := int(int64(binary.LittleEndian.Uint64(hdr[:])))
-				if src < 0 || src >= n {
-					accepted <- fmt.Errorf("mpi: bad source rank %d on wire", src)
-					return
-				}
-				t.wg.Add(1)
-				go t.pump(dst, src, conn)
-			}
-			accepted <- nil
-		}(r)
+		t.wg.Add(1)
+		go t.acceptLoop(r, n, accepted)
 	}
 
 	// Dial the mesh.
@@ -101,16 +163,10 @@ func NewWorldTCP(cluster *hnoc.Cluster, placement []int) (*World, func() error, 
 			if dst == src {
 				continue
 			}
-			conn, err := net.Dial("tcp", t.listeners[dst].Addr().String())
+			conn, err := t.dial(src, dst)
 			if err != nil {
 				t.Close()
-				return nil, nil, fmt.Errorf("mpi: dial %d->%d: %w", src, dst, err)
-			}
-			var hdr [8]byte
-			binary.LittleEndian.PutUint64(hdr[:], uint64(int64(src)))
-			if _, err := conn.Write(hdr[:]); err != nil {
-				t.Close()
-				return nil, nil, err
+				return nil, fmt.Errorf("mpi: dial %d->%d: %w", src, dst, err)
 			}
 			t.conns[src][dst] = conn
 		}
@@ -118,25 +174,94 @@ func NewWorldTCP(cluster *hnoc.Cluster, placement []int) (*World, func() error, 
 	for r := 0; r < n; r++ {
 		if err := <-accepted; err != nil {
 			t.Close()
-			return nil, nil, err
+			return nil, err
 		}
 	}
 
 	w.deliver = t.deliver
-	return w, t.Close, nil
+	// Failure injection closes the failed rank's sockets, so remote peers
+	// observe the crash on the wire exactly as they would a real one.
+	w.OnFail(t.onRankFailed)
+
+	if opts.HeartbeatInterval > 0 {
+		for r := 0; r < n; r++ {
+			t.wg.Add(1)
+			go t.heartbeat(r)
+		}
+		t.wg.Add(1)
+		go t.monitor()
+	}
+	return t, nil
 }
 
-// deliver frames the envelope onto the src->dst connection.
-func (t *tcpTransport) deliver(dst int, e *envelope) {
-	if e.src == dst {
-		// Self-delivery has no wire.
-		t.world.procs[dst].mbox.put(e)
-		return
+// acceptLoop accepts inbound connections for rank dst forever; the first
+// n-1 peers complete the startup handshake.
+func (t *tcpTransport) acceptLoop(dst, n int, accepted chan<- error) {
+	defer t.wg.Done()
+	need := n - 1
+	reported := need == 0
+	if reported {
+		accepted <- nil
 	}
-	n := len(t.world.procs)
-	mu := &t.connMu[e.src*n+dst]
-	conn := t.conns[e.src][dst]
+	got := 0
+	for {
+		conn, err := t.listeners[dst].Accept()
+		if err != nil {
+			if !reported {
+				accepted <- err
+				reported = true
+			}
+			return // listener closed
+		}
+		var hdr [8]byte
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			conn.Close()
+			if !reported {
+				accepted <- err
+				reported = true
+			}
+			continue
+		}
+		src := int(int64(binary.LittleEndian.Uint64(hdr[:])))
+		if src < 0 || src >= n {
+			conn.Close()
+			if !reported {
+				accepted <- fmt.Errorf("mpi: bad source rank %d on wire", src)
+				reported = true
+			}
+			continue
+		}
+		t.wg.Add(1)
+		go t.pump(dst, src, conn)
+		got++
+		if !reported && got == need {
+			accepted <- nil
+			reported = true
+		}
+	}
+}
 
+// dial opens and identifies one src->dst connection.
+func (t *tcpTransport) dial(src, dst int) (net.Conn, error) {
+	conn, err := net.Dial("tcp", t.listeners[dst].Addr().String())
+	if err != nil {
+		return nil, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(int64(src)))
+	if t.opts.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
+	}
+	if _, err := conn.Write(hdr[:]); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetWriteDeadline(time.Time{})
+	return conn, nil
+}
+
+// frame encodes an envelope for the wire.
+func frame(e *envelope) []byte {
 	buf := make([]byte, frameHeaderLen+len(e.data))
 	binary.LittleEndian.PutUint64(buf[0:], uint64(e.ctx))
 	binary.LittleEndian.PutUint64(buf[8:], uint64(int64(e.src)))
@@ -145,45 +270,239 @@ func (t *tcpTransport) deliver(dst int, e *envelope) {
 	binary.LittleEndian.PutUint64(buf[32:], math.Float64bits(float64(e.arrive)))
 	binary.LittleEndian.PutUint32(buf[40:], uint32(len(e.data)))
 	copy(buf[frameHeaderLen:], e.data)
+	return buf
+}
 
+// writeFrame sends one frame on the src->dst connection under the pair's
+// mutex, applying the per-operation deadline.
+func (t *tcpTransport) writeFrame(src, dst int, buf []byte) error {
+	n := len(t.world.procs)
+	mu := &t.connMu[src*n+dst]
 	mu.Lock()
+	defer mu.Unlock()
+	conn := t.conns[src][dst]
+	if conn == nil {
+		return fmt.Errorf("mpi: no connection %d->%d", src, dst)
+	}
+	if t.opts.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
+	}
 	_, err := conn.Write(buf)
-	mu.Unlock()
-	if err != nil {
-		// The peer is gone (failure injection closes sockets): the
-		// message disappears, exactly like the in-process path's
-		// delivery to a closed mailbox.
+	return err
+}
+
+// deliver frames the envelope onto the src->dst connection, re-dialling
+// with exponential backoff on write failure before declaring the
+// destination dead.
+func (t *tcpTransport) deliver(dst int, e *envelope) {
+	if e.src == dst {
+		// Self-delivery has no wire.
+		t.world.procs[dst].mbox.put(e)
 		return
+	}
+	if t.world.IsFailed(dst) {
+		return // message to a failed process disappears
+	}
+	buf := frame(e)
+	if t.writeFrame(e.src, dst, buf) == nil {
+		return
+	}
+	if t.reconnect(e.src, dst, buf) {
+		return
+	}
+	// The peer stayed unreachable through every retry: it is dead. Mark
+	// it failed so blocked receivers abort instead of hanging; the
+	// message disappears, exactly like the in-process path's delivery to
+	// a closed mailbox.
+	select {
+	case <-t.closed:
+	default:
+		t.world.Fail(dst)
 	}
 }
 
+// reconnect re-dials src->dst up to DialRetries times with exponential
+// backoff, retrying the frame after each successful dial. It reports
+// whether the frame was eventually written.
+func (t *tcpTransport) reconnect(src, dst int, buf []byte) bool {
+	backoff := t.opts.DialBackoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	n := len(t.world.procs)
+	mu := &t.connMu[src*n+dst]
+	for attempt := 0; attempt < t.opts.DialRetries; attempt++ {
+		select {
+		case <-t.closed:
+			return false
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if t.world.IsFailed(dst) {
+			return false
+		}
+		conn, err := t.dial(src, dst)
+		if err != nil {
+			continue
+		}
+		mu.Lock()
+		if old := t.conns[src][dst]; old != nil {
+			old.Close()
+		}
+		t.conns[src][dst] = conn
+		mu.Unlock()
+		if t.writeFrame(src, dst, buf) == nil {
+			return true
+		}
+	}
+	return false
+}
+
 // pump decodes frames from one connection into the destination mailbox.
+// An unexpected end of stream is a failure signal: without heartbeats the
+// peer is declared dead on the spot (a closed socket means the process is
+// gone); with heartbeats the verdict is left to the silence monitor, which
+// gives a reconnecting peer its grace period.
 func (t *tcpTransport) pump(dst, src int, conn net.Conn) {
 	defer t.wg.Done()
 	defer conn.Close()
 	hdr := make([]byte, frameHeaderLen)
 	for {
 		if _, err := io.ReadFull(conn, hdr); err != nil {
-			return // connection closed
+			t.peerGone(dst, src)
+			return
+		}
+		ctx := int64(binary.LittleEndian.Uint64(hdr[0:]))
+		size := binary.LittleEndian.Uint32(hdr[40:])
+		if ctx == heartbeatCtx {
+			t.lastSeen[dst][src].Store(time.Now().UnixNano())
+			continue
 		}
 		e := &envelope{
-			ctx:    int64(binary.LittleEndian.Uint64(hdr[0:])),
+			ctx:    ctx,
 			src:    int(int64(binary.LittleEndian.Uint64(hdr[8:]))),
 			tag:    int(int64(binary.LittleEndian.Uint64(hdr[16:]))),
 			seq:    int64(binary.LittleEndian.Uint64(hdr[24:])),
 			arrive: vclock.Time(math.Float64frombits(binary.LittleEndian.Uint64(hdr[32:]))),
 		}
-		size := binary.LittleEndian.Uint32(hdr[40:])
 		if size > 0 {
 			e.data = make([]byte, size)
 			if _, err := io.ReadFull(conn, e.data); err != nil {
+				t.peerGone(dst, src)
 				return
 			}
 		}
 		if e.src != src {
 			return // protocol violation; drop the connection
 		}
+		t.lastSeen[dst][src].Store(time.Now().UnixNano())
 		t.world.procs[dst].mbox.put(e)
+	}
+}
+
+// peerGone handles an unexpected disconnect of the src->dst stream.
+func (t *tcpTransport) peerGone(dst, src int) {
+	select {
+	case <-t.closed:
+		return // normal teardown
+	default:
+	}
+	if t.world.IsFailed(dst) || t.world.IsFailed(src) {
+		return // the corpse is already known
+	}
+	if t.opts.HeartbeatTimeout > 0 {
+		return // the silence monitor decides; the peer may reconnect
+	}
+	t.world.Fail(src)
+}
+
+// heartbeat emits heartbeat frames from rank src to every peer until the
+// transport closes or src dies.
+func (t *tcpTransport) heartbeat(src int) {
+	defer t.wg.Done()
+	n := len(t.world.procs)
+	buf := frame(&envelope{ctx: heartbeatCtx, src: src})
+	ticker := time.NewTicker(t.opts.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.closed:
+			return
+		case <-ticker.C:
+		}
+		if t.world.IsFailed(src) {
+			return // corpses do not heartbeat
+		}
+		if t.silenced[src].Load() {
+			continue
+		}
+		for dst := 0; dst < n; dst++ {
+			if dst == src || t.world.IsFailed(dst) {
+				continue
+			}
+			t.writeFrame(src, dst, buf) // errors left to the monitor
+		}
+	}
+}
+
+// monitor declares ranks dead that have been silent towards any live peer
+// beyond the heartbeat timeout.
+func (t *tcpTransport) monitor() {
+	defer t.wg.Done()
+	n := len(t.world.procs)
+	ticker := time.NewTicker(t.opts.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.closed:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now().UnixNano()
+		limit := t.opts.HeartbeatTimeout.Nanoseconds()
+		for src := 0; src < n; src++ {
+			if t.world.IsFailed(src) {
+				continue
+			}
+			for dst := 0; dst < n; dst++ {
+				if dst == src || t.world.IsFailed(dst) {
+					continue
+				}
+				if now-t.lastSeen[dst][src].Load() > limit {
+					t.world.Fail(src)
+					break
+				}
+			}
+		}
+	}
+}
+
+// onRankFailed tears down the failed rank's sockets so its peers observe
+// the crash on the wire.
+func (t *tcpTransport) onRankFailed(rank int) {
+	if t.listeners[rank] != nil {
+		t.listeners[rank].Close()
+	}
+	n := len(t.world.procs)
+	for other := 0; other < n; other++ {
+		if other == rank {
+			continue
+		}
+		t.closePair(rank, other)
+		t.closePair(other, rank)
+	}
+}
+
+// closePair closes the src->dst connection, if any.
+func (t *tcpTransport) closePair(src, dst int) {
+	n := len(t.world.procs)
+	mu := &t.connMu[src*n+dst]
+	mu.Lock()
+	conn := t.conns[src][dst]
+	t.conns[src][dst] = nil
+	mu.Unlock()
+	if conn != nil {
+		conn.Close()
 	}
 }
 
@@ -196,10 +515,10 @@ func (t *tcpTransport) Close() error {
 				ln.Close()
 			}
 		}
-		for _, row := range t.conns {
-			for _, c := range row {
-				if c != nil {
-					c.Close()
+		for src := range t.conns {
+			for dst := range t.conns[src] {
+				if dst != src {
+					t.closePair(src, dst)
 				}
 			}
 		}

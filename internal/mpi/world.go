@@ -51,6 +51,27 @@ type World struct {
 	failedMu sync.RWMutex
 	failed   map[int]bool // world ranks marked failed (fault injection)
 
+	// failHooks run after a rank is marked failed: transports close the
+	// rank's sockets, the HMPI runtime removes it from the free pool and
+	// marks its machine dead. Registered before Run.
+	hookMu    sync.Mutex
+	failHooks []func(rank int)
+
+	// revoked holds the context ids of revoked communicators (ULFM
+	// extension, see ft.go).
+	revMu   sync.RWMutex
+	revoked map[int64]bool
+
+	// agreeTab holds in-flight failure agreements (ft.go).
+	agreeMu   sync.Mutex
+	agreeCond *sync.Cond
+	agreeTab  map[ctxKey]*agreeState
+
+	// tick, when non-nil, observes every operation boundary of every
+	// process: the hook through which a chaos schedule kills a process
+	// when its own virtual clock passes the scheduled instant.
+	tick func(p *Proc)
+
 	// deliver routes an envelope to a destination's mailbox. The default
 	// is the in-process path; NewWorldTCP substitutes a real network
 	// transport.
@@ -80,12 +101,15 @@ func NewWorld(cluster *hnoc.Cluster, placement []int) *World {
 		}
 	}
 	w := &World{
-		cluster: cluster,
-		place:   append([]int(nil), placement...),
-		nextCtx: 1,
-		ctxTab:  make(map[ctxKey]int64),
-		failed:  make(map[int]bool),
+		cluster:  cluster,
+		place:    append([]int(nil), placement...),
+		nextCtx:  1,
+		ctxTab:   make(map[ctxKey]int64),
+		failed:   make(map[int]bool),
+		revoked:  make(map[int64]bool),
+		agreeTab: make(map[ctxKey]*agreeState),
 	}
+	w.agreeCond = sync.NewCond(&w.agreeMu)
 	for r := range placement {
 		w.procs = append(w.procs, newProc(w, r))
 	}
@@ -138,15 +162,59 @@ func (w *World) allocContext(parent, seq int64) int64 {
 
 // Fail marks a process as failed (fault-tolerance extension): subsequent
 // communication with it panics with a *ProcessFailedError, which Run
-// converts into an error return on the communicating process.
+// converts into an error return on the communicating process. Fail is
+// idempotent; after marking it runs the registered failure hooks and wakes
+// every blocked operation so survivors observe the failure.
 func (w *World) Fail(rank int) {
 	w.failedMu.Lock()
+	if w.failed[rank] {
+		w.failedMu.Unlock()
+		return
+	}
 	w.failed[rank] = true
 	w.failedMu.Unlock()
 	w.procs[rank].mbox.close()
 	// Wake every blocked receiver so it can notice the failure.
 	for _, p := range w.procs {
 		p.mbox.notify()
+	}
+	// Wake agreements waiting for the failed rank's arrival.
+	w.agreeMu.Lock()
+	w.agreeCond.Broadcast()
+	w.agreeMu.Unlock()
+	w.hookMu.Lock()
+	hooks := append([]func(rank int){}, w.failHooks...)
+	w.hookMu.Unlock()
+	for _, h := range hooks {
+		h(rank)
+	}
+}
+
+// OnFail registers a hook invoked (once) after a rank is marked failed.
+// Transports use it to tear down the rank's connections; the HMPI runtime
+// uses it to retire the rank's processor. Register before Run.
+func (w *World) OnFail(hook func(rank int)) {
+	w.hookMu.Lock()
+	w.failHooks = append(w.failHooks, hook)
+	w.hookMu.Unlock()
+}
+
+// SetFaultHook installs an observer called at every operation boundary
+// (compute, send, receive) of every process, with the process's rank and
+// current virtual time. The chaos package uses it to trigger scheduled
+// failures deterministically in virtual time. Install before Run.
+func (w *World) SetFaultHook(f func(rank int, now vclock.Time)) {
+	if f == nil {
+		w.tick = nil
+		return
+	}
+	w.tick = func(p *Proc) { f(p.rank, p.clock.Now()) }
+}
+
+// opTick invokes the fault hook, if any, for the given process.
+func (p *Proc) opTick() {
+	if t := p.world.tick; t != nil {
+		t(p)
 	}
 }
 
@@ -179,11 +247,21 @@ func (w *World) Run(main func(p *Proc) error) error {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					if pf, ok := r.(*ProcessFailedError); ok {
-						errs[p.rank] = pf
-						return
+					switch e := r.(type) {
+					case *ProcessFailedError:
+						// A process that trips over its own failure is a
+						// corpse: it died, it does not also report an
+						// error — the failure surfaces on its peers.
+						if e.Rank != p.rank {
+							errs[p.rank] = e
+						}
+					case *KilledError:
+						// Killed by fault injection: a silent death.
+					case *RevokedError:
+						errs[p.rank] = e
+					default:
+						errs[p.rank] = fmt.Errorf("mpi: process %d panicked: %v", p.rank, r)
 					}
-					errs[p.rank] = fmt.Errorf("mpi: process %d panicked: %v", p.rank, r)
 				}
 			}()
 			errs[p.rank] = main(p)
@@ -302,6 +380,7 @@ func (p *Proc) Compute(units float64) {
 	if tr := p.world.trace; tr != nil {
 		tr.add(TraceEvent{Rank: p.rank, Kind: EventCompute, Start: start, End: end, Peer: -1})
 	}
+	p.opTick()
 }
 
 // CommWorld returns the communicator spanning all processes, the analogue
