@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench check figures examples clean
+.PHONY: all build test race bench check lint figures examples clean
 
 all: build test
 
@@ -10,11 +10,24 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-# The CI gate: vet, build, and the full race-enabled suite.
-check:
-	$(GO) vet ./...
+# The CI gate: vet, static analysis, build, and the race-enabled suite.
+check: lint
 	$(GO) build ./...
 	$(GO) test -race ./...
+
+# Static analysis: go vet, the HMPI analyzers (hmpivet) over the tree,
+# the PMDL lints over every shipped model, and staticcheck when the
+# binary is on PATH (CI installs a pinned version; locally it is
+# optional so an offline checkout still gates on the in-tree checks).
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/hmpivet . models/*.mpc
+	for m in models/*.mpc; do $(GO) run ./cmd/pmc -lint $$m || exit 1; done
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 test:
 	$(GO) test ./...

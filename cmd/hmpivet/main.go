@@ -1,0 +1,145 @@
+// Command hmpivet runs the HMPI static analyzers over Go source trees
+// and PMDL performance models. It is a multichecker in the style of go
+// vet: each analyzer checks one contract of the HMPI programming model,
+// and any finding makes the command exit non-zero.
+//
+// Usage:
+//
+//	hmpivet ./...                      # analyze the tree rooted here
+//	hmpivet internal/apps examples     # several roots
+//	hmpivet models/jacobi.mpc          # lint a performance model
+//	hmpivet -only groupfree,tagconst ./...
+//	hmpivet -tests ./...               # include _test.go files
+//	hmpivet -list                      # print the analyzers and exit
+//
+// A `//hmpivet:ignore [name,...]` comment on the reported line
+// suppresses Go findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ftcontract"
+	"repro/internal/analysis/groupfree"
+	"repro/internal/analysis/modelcheck"
+	"repro/internal/analysis/reconpure"
+	"repro/internal/analysis/tagconst"
+	"repro/internal/pmdl"
+)
+
+// all registers every analyzer the multichecker knows.
+var all = []*analysis.Analyzer{
+	ftcontract.Analyzer,
+	groupfree.Analyzer,
+	reconpure.Analyzer,
+	tagconst.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	tests := flag.Bool("tests", false, "also analyze _test.go files")
+	list := flag.Bool("list", false, "print the available analyzers and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: hmpivet [-only a,b] [-tests] <dir|pattern|model.mpc>...")
+		os.Exit(2)
+	}
+	os.Exit(run(args, *only, *tests, os.Stdout))
+}
+
+// run analyzes every argument — a directory (a trailing /... is
+// accepted and means the same thing: the walk always recurses), or a
+// .mpc model file — and returns the process exit code.
+func run(args []string, only string, tests bool, out io.Writer) int {
+	analyzers, err := selectAnalyzers(only)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hmpivet: %v\n", err)
+		return 2
+	}
+	findings := 0
+	for _, arg := range args {
+		if strings.HasSuffix(arg, ".mpc") {
+			findings += lintModel(arg, out)
+			continue
+		}
+		root := strings.TrimSuffix(arg, "...")
+		root = strings.TrimSuffix(root, "/")
+		if root == "" {
+			root = "."
+		}
+		pkgs, err := analysis.Load(root, tests)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hmpivet: %v\n", err)
+			return 2
+		}
+		diags, err := analysis.Run(pkgs, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hmpivet: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintf(out, "%s: %s: %s\n", d.Pos, d.Analyzer, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*analysis.Analyzer
+	names := strings.Split(only, ",")
+	sort.Strings(names)
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list)", n)
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}
+
+// lintModel runs the PMDL lints on one model file and returns the
+// finding count. Parse failures count as a finding: a model that does
+// not parse cannot be vetted.
+func lintModel(path string, out io.Writer) int {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(out, "%s: %v\n", path, err)
+		return 1
+	}
+	m, err := pmdl.ParseModel(string(src))
+	if err != nil {
+		fmt.Fprintf(out, "%s: %v\n", path, err)
+		return 1
+	}
+	diags := modelcheck.Lint(m)
+	for _, d := range diags {
+		fmt.Fprintf(out, "%s:%s\n", path, d)
+	}
+	return len(diags)
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean is the acceptance gate: hmpivet over the whole tree
+// and every shipped model must report nothing. A new finding anywhere in
+// the repo fails tier-1 here.
+func TestRepoIsClean(t *testing.T) {
+	models, err := filepath.Glob(filepath.Join("..", "..", "models", "*.mpc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{filepath.Join("..", "..")}, models...)
+	var out bytes.Buffer
+	if code := run(args, "", false, &out); code != 0 {
+		t.Fatalf("hmpivet found violations in the repo (exit %d):\n%s", code, out.String())
+	}
+}
+
+// TestSeededGoViolation proves the Go analyzers actually fire: a leaked
+// group seeded into a scratch package must flag and exit non-zero.
+func TestSeededGoViolation(t *testing.T) {
+	dir := t.TempDir()
+	src := `package scratch
+
+type Group struct{}
+
+type Process struct{}
+
+func (h *Process) GroupCreate(m any) (*Group, error) { return nil, nil }
+
+func (g *Group) Rank() int { return 0 }
+
+func leak(h *Process) {
+	g, _ := h.GroupCreate(nil)
+	_ = g.Rank()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	code := run([]string{dir}, "", false, &out)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "never freed") {
+		t.Fatalf("missing groupfree finding:\n%s", out.String())
+	}
+}
+
+// TestSeededModelViolation proves the model front fires: a
+// self-communicating scheme must flag and exit non-zero.
+func TestSeededModelViolation(t *testing.T) {
+	dir := t.TempDir()
+	src := `algorithm Bad(int p) {
+  coord I=p;
+  node {I>=0: bench*(1);};
+  scheme {
+    100%%[0]->[0];
+  };
+}
+`
+	path := filepath.Join(dir, "bad.mpc")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	code := run([]string{path}, "", false, &out)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "selfcomm") {
+		t.Fatalf("missing selfcomm finding:\n%s", out.String())
+	}
+}
+
+// TestOnlySelectsAnalyzers pins -only: with groupfree excluded, the
+// seeded leak must pass.
+func TestOnlySelectsAnalyzers(t *testing.T) {
+	dir := t.TempDir()
+	src := `package scratch
+
+type Group struct{}
+
+type Process struct{}
+
+func (h *Process) GroupCreate(m any) (*Group, error) { return nil, nil }
+
+func (g *Group) Rank() int { return 0 }
+
+func leak(h *Process) {
+	g, _ := h.GroupCreate(nil)
+	_ = g.Rank()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := run([]string{dir}, "tagconst", false, &out); code != 0 {
+		t.Fatalf("-only tagconst still flagged (exit %d):\n%s", code, out.String())
+	}
+	if _, err := selectAnalyzers("nosuch"); err == nil {
+		t.Fatal("unknown analyzer name must be rejected")
+	}
+}

@@ -9,6 +9,8 @@
 //
 //	pmc model.mpc                          # parse and describe
 //	pmc -args '3,100,[10,20,30],...' model.mpc   # instantiate too
+//	pmc -lint model.mpc                    # static lints; exit 1 on errors
+//	pmc -lint=warn model.mpc               # advisory: print but exit 0
 //
 // Arguments are comma-separated; arrays use JSON syntax and nest to any
 // depth ([..] / [[..],[..]] ...).
@@ -20,17 +22,40 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/analysis/modelcheck"
 	"repro/internal/pmdl"
 )
+
+// lintMode lets -lint act as both a boolean switch (`-lint`, meaning
+// "err") and a valued flag (`-lint=warn`, `-lint=off`).
+type lintMode string
+
+func (m *lintMode) String() string   { return string(*m) }
+func (m *lintMode) IsBoolFlag() bool { return true }
+func (m *lintMode) Set(v string) error {
+	switch v {
+	case "true", "err", "error":
+		*m = "err"
+	case "warn":
+		*m = "warn"
+	case "false", "off":
+		*m = "off"
+	default:
+		return fmt.Errorf("invalid -lint mode %q (want err, warn or off)", v)
+	}
+	return nil
+}
 
 func main() {
 	argsFlag := flag.String("args", "", "actual parameters: JSON array, e.g. '[3,100,[10,20,30]]'")
 	dumpDAG := flag.Bool("dag", false, "also build the scheme task graph (needs -args)")
 	format := flag.Bool("fmt", false, "print the model reformatted to canonical form and exit")
 	genPkg := flag.String("gen", "", "emit a Go file embedding the model for the given package and exit")
+	lint := lintMode("off")
+	flag.Var(&lint, "lint", "run static lints and exit; bare -lint (or -lint=err) exits 1 on error-severity findings, -lint=warn prints findings but always exits 0")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: pmc [-args '[...]'] [-dag] model.mpc")
+		fmt.Fprintln(os.Stderr, "usage: pmc [-args '[...]'] [-dag] [-lint[=err|warn]] model.mpc")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -40,6 +65,9 @@ func main() {
 	model, err := pmdl.ParseModel(string(src))
 	if err != nil {
 		fatal(err)
+	}
+	if lint != "off" {
+		os.Exit(runLint(model, flag.Arg(0), *argsFlag, lint == "warn"))
 	}
 	if *format {
 		fmt.Print(pmdl.Format(model.File))
@@ -106,6 +134,35 @@ func main() {
 		}
 		fmt.Printf("  scheme task graph: %d tasks\n", dag.Size())
 	}
+}
+
+// runLint prints every lint finding for the model and returns the
+// process exit code: 1 when an error-severity finding exists and the
+// mode is not advisory, 0 otherwise.
+func runLint(model *pmdl.Model, path, argsJSON string, advisory bool) int {
+	var args []any
+	if argsJSON != "" {
+		var raw []any
+		if err := json.Unmarshal([]byte(argsJSON), &raw); err != nil {
+			fatal(fmt.Errorf("parsing -args: %w", err))
+		}
+		args = make([]any, len(raw))
+		for i, v := range raw {
+			args[i] = convertArg(v)
+		}
+	}
+	diags := modelcheck.Lint(model, args...)
+	hasErr := false
+	for _, d := range diags {
+		if d.Severity == pmdl.SevError {
+			hasErr = true
+		}
+		fmt.Printf("%s:%s\n", path, d)
+	}
+	if hasErr && !advisory {
+		return 1
+	}
+	return 0
 }
 
 // convertArg turns decoded JSON into the int / nested []int values the

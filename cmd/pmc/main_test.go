@@ -94,3 +94,50 @@ func TestExportedName(t *testing.T) {
 		}
 	}
 }
+
+func TestLintModeFlag(t *testing.T) {
+	var m lintMode
+	for in, want := range map[string]string{
+		"true": "err", "err": "err", "error": "err",
+		"warn": "warn", "false": "off", "off": "off",
+	} {
+		if err := m.Set(in); err != nil {
+			t.Fatalf("Set(%q): %v", in, err)
+		}
+		if string(m) != want {
+			t.Errorf("Set(%q) = %q, want %q", in, m, want)
+		}
+	}
+	if err := m.Set("loud"); err == nil {
+		t.Error("invalid mode accepted")
+	}
+	if !m.IsBoolFlag() {
+		t.Error("bare -lint must work as a boolean flag")
+	}
+}
+
+func TestRunLintExitCodes(t *testing.T) {
+	parse := func(path string) *pmdl.Model {
+		t.Helper()
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := pmdl.ParseModel(string(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	clean := parse("../../models/jacobi.mpc")
+	if code := runLint(clean, "jacobi.mpc", "", false); code != 0 {
+		t.Errorf("clean model: exit %d, want 0", code)
+	}
+	bad := parse("../../internal/pmdl/testdata/lint/selfcomm.mpc")
+	if code := runLint(bad, "selfcomm.mpc", "", false); code != 1 {
+		t.Errorf("selfcomm in err mode: exit %d, want 1", code)
+	}
+	if code := runLint(bad, "selfcomm.mpc", "", true); code != 0 {
+		t.Errorf("selfcomm in warn mode: exit %d, want 0", code)
+	}
+}

@@ -96,7 +96,7 @@ func main() {
 			if h.IsMember(ng) {
 				ng.Comm().Barrier()
 			}
-			return nil
+			return h.GroupFree(ng)
 		}
 		victim := g.WorldRanks()[g.Size()-1]
 		if h.Rank() == victim {
@@ -132,7 +132,7 @@ func main() {
 					g.WorldRanks(), ng.WorldRanks())
 			}
 		}
-		return nil
+		return h.GroupFree(ng)
 	})
 	if err != nil {
 		log.Fatal(err)

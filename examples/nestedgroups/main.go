@@ -101,7 +101,9 @@ func main() {
 				h.Proc().Compute(units)
 				child.Comm().Gather(child.ParentRank(),
 					mpi.Float64Bytes([]float64{float64(h.Rank())}))
-				return h.GroupFree(child)
+				if err := h.GroupFree(child); err != nil {
+					return err
+				}
 			}
 		}
 

@@ -1,0 +1,140 @@
+// Package analysis is a self-contained static-analysis framework for Go
+// source, mirroring the Analyzer/Pass/Diagnostic shape of
+// golang.org/x/tools/go/analysis. The build environment vendors no
+// third-party modules, so the framework is built on the standard library
+// only: packages are parsed (not type-checked) and analyzers work
+// syntactically. Analyzers written against this API translate to the
+// x/tools API nearly verbatim once that dependency is available, at which
+// point cmd/hmpivet can also become a `go vet -vettool=` multichecker.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters.
+	Name string
+	// Doc is the one-line description shown by hmpivet -list.
+	Doc string
+	// Run analyses one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the parsed source files of the package, including tests.
+	Files []*ast.File
+	// Pkg is the package directory relative to the analysis root.
+	Pkg string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Run applies every analyzer to every package and returns the findings
+// sorted by position. Findings on lines carrying a
+// "hmpivet:ignore <name>" (or bare "hmpivet:ignore") comment are
+// suppressed — the escape hatch for runtime internals that implement the
+// very contracts the analyzers enforce.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignored := ignoreLines(pkg)
+		for _, a := range analyzers {
+			var local []Diagnostic
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Dir,
+				diags:    &local,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.Dir, a.Name, err)
+			}
+			for _, d := range local {
+				if names, ok := ignored[lineKey{d.Pos.Filename, d.Pos.Line}]; ok {
+					if names == "" || containsName(names, a.Name) {
+						continue
+					}
+				}
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// ignoreLines maps source lines carrying an ignore directive to the
+// (possibly empty) analyzer list the directive names.
+func ignoreLines(pkg *Package) map[lineKey]string {
+	out := make(map[lineKey]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "hmpivet:ignore")
+				if idx < 0 {
+					continue
+				}
+				rest := strings.TrimSpace(c.Text[idx+len("hmpivet:ignore"):])
+				pos := pkg.Fset.Position(c.Pos())
+				out[lineKey{pos.Filename, pos.Line}] = rest
+			}
+		}
+	}
+	return out
+}
+
+func containsName(list, name string) bool {
+	for _, n := range strings.FieldsFunc(list, func(r rune) bool { return r == ',' || r == ' ' }) {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

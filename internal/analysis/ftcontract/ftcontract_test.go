@@ -1,0 +1,13 @@
+package ftcontract_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ftcontract"
+)
+
+func TestFTContract(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), ftcontract.Analyzer)
+}

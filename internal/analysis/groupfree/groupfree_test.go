@@ -1,0 +1,13 @@
+package groupfree_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/groupfree"
+)
+
+func TestGroupFree(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), groupfree.Analyzer)
+}

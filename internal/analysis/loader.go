@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed package directory.
+type Package struct {
+	// Dir is the directory path relative to the analysis root (or the
+	// absolute path when loaded directly).
+	Dir  string
+	Fset *token.FileSet
+	// Files holds every parsed .go file of the directory — all package
+	// clauses together, tests included; syntactic analyzers do not need
+	// the external-test split.
+	Files []*ast.File
+}
+
+// Load walks root and parses every package directory. Directories named
+// testdata or vendor, hidden directories and underscore-prefixed
+// directories are skipped, matching the go tool's rules.
+func Load(root string, includeTests bool) ([]*Package, error) {
+	var pkgs []*Package
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		pkg, err := LoadDir(path, includeTests)
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			rel, rerr := filepath.Rel(root, path)
+			if rerr == nil && rel != "." {
+				pkg.Dir = rel
+			}
+			pkgs = append(pkgs, pkg)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Dir < pkgs[j].Dir })
+	return pkgs, nil
+}
+
+// LoadDir parses the .go files of a single directory. It returns nil (no
+// error) when the directory holds no Go source.
+func LoadDir(dir string, includeTests bool) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", path, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	return &Package{Dir: dir, Fset: fset, Files: files}, nil
+}

@@ -1,0 +1,13 @@
+package reconpure_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/reconpure"
+)
+
+func TestReconPure(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), reconpure.Analyzer)
+}

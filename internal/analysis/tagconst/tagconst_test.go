@@ -1,0 +1,13 @@
+package tagconst_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/tagconst"
+)
+
+func TestTagConst(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), tagconst.Analyzer)
+}

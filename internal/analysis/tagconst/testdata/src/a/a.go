@@ -1,0 +1,73 @@
+// Fixture for the tagconst analyzer; parse-only mimic of the mpi
+// point-to-point surface.
+package a
+
+type Status struct{}
+
+type Comm struct {
+	rank int
+}
+
+func (c *Comm) Send(dst, tag int, data []byte)     {}
+func (c *Comm) Recv(src, tag int) ([]byte, Status) { return nil, Status{} }
+func (c *Comm) Sendrecv(dst, sTag int, data []byte, src, rTag int) ([]byte, Status) {
+	return nil, Status{}
+}
+
+const (
+	tagHalo = 7
+	tagAck  = 8
+)
+
+func freshTag() int { return 0 }
+
+func constTagsOK(c *Comm) {
+	c.Send(1, tagHalo, nil)
+	c.Recv(0, tagHalo)
+}
+
+func literalTagsOK(c *Comm) {
+	c.Send(1, 3, nil)
+	c.Recv(0, 3)
+}
+
+func computedTagBad(c *Comm) {
+	c.Send(1, freshTag(), nil) // want "computed by a function call"
+}
+
+func computedRecvTagBad(c *Comm) {
+	_, _ = c.Recv(0, freshTag()+1) // want "computed by a function call"
+}
+
+func disjointTagsBad(c *Comm) {
+	c.Send(1, tagHalo, nil)
+	c.Recv(0, tagAck) // want "disjoint"
+}
+
+func disjointLiteralsBad(c *Comm) {
+	c.Send(1, 3, nil)
+	_, _ = c.Recv(0, 4) // want "disjoint"
+}
+
+func sendrecvMatchedOK(c *Comm) {
+	c.Sendrecv(1, tagHalo, nil, 0, tagHalo)
+}
+
+func sendrecvDisjointBad(c *Comm) {
+	c.Sendrecv(1, tagHalo, nil, 0, tagAck) // want "disjoint"
+}
+
+func separateBlocksOK(c *Comm) {
+	if c.rank == 0 {
+		c.Send(1, tagHalo, nil)
+	} else {
+		c.Recv(0, tagHalo)
+	}
+}
+
+func variableTagSkipped(c *Comm, t int) {
+	// A variable tag keys by name on both sides, so matched names pass
+	// and the analyzer stays silent on expressions it cannot compare.
+	c.Send(1, t, nil)
+	c.Recv(0, t)
+}

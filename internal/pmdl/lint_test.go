@@ -1,0 +1,149 @@
+package pmdl
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustModelFile(t *testing.T, path string) *Model {
+	t.Helper()
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseModel(string(src))
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return m
+}
+
+func codesOf(diags []Diag) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Code
+	}
+	return out
+}
+
+// TestLintStructural exercises the AST-only lints through their fixtures.
+func TestLintStructural(t *testing.T) {
+	cases := []struct {
+		fixture string
+		want    []string // expected codes from the structural pass, in order
+	}{
+		{"clean.mpc", nil},
+		{"selfcomm.mpc", []string{LintSelfComm}},
+		{"unusedcoord.mpc", []string{LintUnusedCoord}},
+		{"constindex.mpc", []string{LintConstIndex, LintConstIndex}},
+		{"seqcycle.mpc", nil},   // dynamic-only: caught by modelcheck
+		{"linkunused.mpc", nil}, // dynamic-only
+		{"nolink.mpc", nil},     // dynamic-only
+		{"noinstance.mpc", nil}, // dynamic-only
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			m := mustModelFile(t, filepath.Join("testdata", "lint", tc.fixture))
+			got := codesOf(Lint(m))
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("got %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestAutoInstantiate(t *testing.T) {
+	m := mustModelFile(t, filepath.Join("testdata", "lint", "clean.mpc"))
+	inst, err := m.AutoInstantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumProcs != 2 {
+		t.Fatalf("NumProcs = %d, want 2 (scalars auto-bind to 2)", inst.NumProcs)
+	}
+	if inst.CommVolume[0][1] <= 0 || inst.CommVolume[1][0] <= 0 {
+		t.Fatalf("expected positive link volumes, got %v", inst.CommVolume)
+	}
+}
+
+func TestAutoInstantiateFailure(t *testing.T) {
+	m := mustModelFile(t, filepath.Join("testdata", "lint", "noinstance.mpc"))
+	if _, err := m.AutoInstantiate(); err == nil {
+		t.Fatal("expected auto-instantiation to fail (division by zero at q=2)")
+	}
+}
+
+// TestAutoInstantiateShippedModels pins the heuristic to the shipped model
+// set: every model in models/ must instantiate with the automatic small
+// arguments, so pmc -lint and hmpivet can analyse them with no -args.
+func TestAutoInstantiateShippedModels(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "models", "*.mpc"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no shipped models found: %v", err)
+	}
+	for _, p := range paths {
+		t.Run(filepath.Base(p), func(t *testing.T) {
+			m := mustModelFile(t, p)
+			inst, err := m.AutoInstantiate()
+			if err != nil {
+				t.Fatalf("auto-instantiate: %v", err)
+			}
+			if inst.NumProcs < 2 {
+				t.Fatalf("NumProcs = %d, want >= 2", inst.NumProcs)
+			}
+		})
+	}
+}
+
+func TestUnrollSchemeStructure(t *testing.T) {
+	m := mustModelFile(t, filepath.Join("testdata", "lint", "clean.mpc"))
+	inst, err := m.AutoInstantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := inst.UnrollScheme()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Par || len(trace.Kids) != 2 {
+		t.Fatalf("expected sequential root with 2 phases, got par=%v kids=%d", trace.Par, len(trace.Kids))
+	}
+	ops := trace.Ops(nil)
+	var comms, comps int
+	for _, op := range ops {
+		if op.Comm() {
+			comms++
+		} else {
+			comps++
+		}
+	}
+	if comms != 2 || comps != 2 {
+		t.Fatalf("got %d transfers, %d computations; want 2 and 2", comms, comps)
+	}
+}
+
+func TestUnrollSchemeSequentialRun(t *testing.T) {
+	m := mustModelFile(t, filepath.Join("testdata", "lint", "seqcycle.mpc"))
+	inst, err := m.AutoInstantiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := inst.UnrollScheme()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Par || len(trace.Kids) != 2 {
+		t.Fatalf("expected a sequential run of 2 transfers, got par=%v kids=%d", trace.Par, len(trace.Kids))
+	}
+	for _, k := range trace.Kids {
+		if k.Op == nil || !k.Op.Comm() {
+			t.Fatalf("expected comm leaves, got %+v", k)
+		}
+	}
+}
