@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench check lint figures examples clean
+.PHONY: all build test race bench profile check lint figures examples clean
 
 all: build test
 
@@ -35,8 +35,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Benchmarks plus the machine-readable search-engine sweep (BENCH_PR3.json
+# records evaluations/cache hits/pruned/wall time per engine configuration).
 bench:
 	$(GO) test -bench=. -benchmem .
+	$(GO) run ./cmd/hmpibench -searchbench BENCH_PR3.json
+
+# Profile the group-selection sweep; inspect with `go tool pprof`.
+profile:
+	$(GO) run ./cmd/hmpibench -fig search -cpuprofile cpu.pprof -memprofile mem.pprof
 
 # Regenerate every figure/table of EXPERIMENTS.md (writes CSVs to out/).
 figures:
@@ -54,4 +61,4 @@ examples:
 	$(GO) run ./examples/tcptransport
 
 clean:
-	rm -rf out test_output.txt bench_output.txt
+	rm -rf out test_output.txt bench_output.txt BENCH_PR3.json cpu.pprof mem.pprof

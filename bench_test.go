@@ -181,41 +181,89 @@ func em3dSelection(b *testing.B) (*estimator.Estimator, mapper.Problem) {
 		avail[i] = i
 	}
 	return est, mapper.Problem{
-		P:         inst.NumProcs,
-		Avail:     avail,
-		Fixed:     map[int]int{inst.Parent: 0},
-		Weights:   inst.CompVolume,
-		SpeedOf:   func(r int) float64 { return cluster.Machines[r].Speed },
-		Objective: est.Timeof,
+		P:            inst.NumProcs,
+		Avail:        avail,
+		Fixed:        map[int]int{inst.Parent: 0},
+		Weights:      inst.CompVolume,
+		SpeedOf:      func(r int) float64 { return cluster.Machines[r].Speed },
+		Objective:    est.Session().Timeof,
+		NewObjective: func() mapper.Objective { return est.Session().Timeof },
+		LowerBound:   est.LowerBound,
+		CanonicalKey: est.AppendCanonicalKey,
 	}
 }
 
 // BenchmarkTableBMapperStrategies regenerates Table B: the cost of each
-// group-selection strategy.
+// group-selection strategy, now including the concurrent engine's
+// pruned/cached/parallel exhaustive variants, multi-start local search,
+// and the strategy portfolio. Each run reports the prediction, the
+// objective evaluations spent, and the evaluation throughput.
 func BenchmarkTableBMapperStrategies(b *testing.B) {
 	for _, st := range []struct {
 		name string
-		s    mapper.Strategy
+		opts mapper.Options
 	}{
-		{"Exhaustive", mapper.StrategyExhaustive},
-		{"Greedy", mapper.StrategyGreedy},
-		{"GreedyLocal", mapper.StrategyGreedyLocal},
-		{"RandomBest", mapper.StrategyRandomBest},
+		{"Exhaustive", mapper.Options{Strategy: mapper.StrategyExhaustive}},
+		{"ExhaustivePruned", mapper.Options{Strategy: mapper.StrategyExhaustive, Prune: true}},
+		{"ExhaustiveSymmetry", mapper.Options{Strategy: mapper.StrategyExhaustive, Cache: true}},
+		{"ExhaustivePrunedSym", mapper.Options{Strategy: mapper.StrategyExhaustive, Prune: true, Cache: true}},
+		{"ExhaustiveParallel4", mapper.Options{Strategy: mapper.StrategyExhaustive, Parallelism: 4}},
+		{"Greedy", mapper.Options{Strategy: mapper.StrategyGreedy}},
+		{"GreedyLocal", mapper.Options{Strategy: mapper.StrategyGreedyLocal}},
+		{"GreedyMultiStart8", mapper.Options{Strategy: mapper.StrategyGreedyLocal, Restarts: 8, Parallelism: 4}},
+		{"RandomBest", mapper.Options{Strategy: mapper.StrategyRandomBest}},
+		{"Portfolio", mapper.Options{Strategy: mapper.StrategyPortfolio, Parallelism: 4, Prune: true, Cache: true}},
 	} {
 		b.Run(st.name, func(b *testing.B) {
 			_, pr := em3dSelection(b)
+			opts := st.opts
+			opts.ExhaustiveLimit = 1_000_000
 			var t float64
+			var stats mapper.SearchStats
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				a, err := mapper.Solve(pr, mapper.Options{Strategy: st.s, ExhaustiveLimit: 1_000_000})
+				a, err := mapper.Solve(pr, opts)
 				if err != nil {
 					b.Fatal(err)
 				}
 				t = a.Time
+				stats = a.Stats
 			}
 			b.ReportMetric(t, "predicted-s")
+			b.ReportMetric(float64(stats.Evaluations), "evals")
+			if s := stats.WallTime.Seconds(); s > 0 {
+				b.ReportMetric(float64(stats.Evaluations)/s, "evals/sec")
+			}
 		})
 	}
+}
+
+// BenchmarkGroupCreateSearch contrasts the serial exhaustive selection
+// behind HMPI_Group_create with the tuned engine (pruned, symmetry-cached,
+// 4 workers): same answer, fewer evaluations, less wall time.
+func BenchmarkGroupCreateSearch(b *testing.B) {
+	_, pr := em3dSelection(b)
+	serialOpts := mapper.Options{Strategy: mapper.StrategyExhaustive, ExhaustiveLimit: 1_000_000}
+	tunedOpts := mapper.Options{Strategy: mapper.StrategyExhaustive, ExhaustiveLimit: 1_000_000,
+		Prune: true, Cache: true, Parallelism: 4}
+	var serial, tuned mapper.Assignment
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		serial, err = mapper.Solve(pr, serialOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tuned, err = mapper.Solve(pr, tunedOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tuned.Time != serial.Time {
+			b.Fatalf("tuned engine predicts %v, serial %v", tuned.Time, serial.Time)
+		}
+	}
+	b.ReportMetric(serial.Stats.WallTime.Seconds()/tuned.Stats.WallTime.Seconds(), "speedup-x")
+	b.ReportMetric(float64(serial.Stats.Evaluations)/float64(tuned.Stats.Evaluations), "eval-reduction-x")
 }
 
 // BenchmarkAblationNICSerial measures the prediction with and without the

@@ -8,16 +8,35 @@
 //	hmpibench -fig all          # everything
 //	hmpibench -fig 9a -csv      # comma-separated output
 //	hmpibench -list             # available figure IDs
+//	hmpibench -searchbench BENCH_PR3.json   # search-engine sweep as JSON
+//	hmpibench -fig mapper -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiments"
 )
+
+// writeSearchBench runs the group-selection engine sweep and stores it as
+// JSON (the artifact CI publishes as the search-performance record).
+func writeSearchBench(path string) error {
+	points, err := experiments.SearchBenchReport()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(points, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
 
 // writeCSV stores one figure as CSV in dir.
 func writeCSV(dir, id string, f *experiments.Figure) error {
@@ -37,7 +56,47 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	outDir := flag.String("o", "", "also write each figure as <dir>/fig_<id>.csv")
 	list := flag.Bool("list", false, "list available figure IDs and exit")
+	searchBench := flag.String("searchbench", "", "run the search-engine sweep and write it as JSON to the given file, then exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to the given file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to the given file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hmpibench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hmpibench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hmpibench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "hmpibench: %v\n", err)
+			}
+		}()
+	}
+
+	if *searchBench != "" {
+		if err := writeSearchBench(*searchBench); err != nil {
+			fmt.Fprintf(os.Stderr, "hmpibench: searchbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *searchBench)
+		return
+	}
 
 	reg := experiments.Registry()
 	if *list {

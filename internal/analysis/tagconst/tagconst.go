@@ -38,16 +38,28 @@ type tagUse struct {
 	send bool
 }
 
-var tagArgs = map[string][]tagUse{
-	"Send":       {{1, true}},
-	"SendOwned":  {{1, true}},
-	"Isend":      {{1, true}},
-	"IsendOwned": {{1, true}},
-	"Recv":       {{1, false}},
-	"Irecv":      {{1, false}},
-	"Probe":      {{1, false}},
-	"Iprobe":     {{1, false}},
-	"Sendrecv":   {{1, true}, {4, false}},
+// p2pOp describes one mpi.Comm point-to-point method: its exact argument
+// count and where the tags sit. The analyzer is syntactic, so the arity
+// is the only signature evidence available to tell a real p2p call from
+// an unrelated method that happens to share the name (worker pools and
+// job queues like to call their enqueue/dequeue methods Send and Recv);
+// a call whose argument count differs is not the mpi operation and is
+// skipped entirely.
+type p2pOp struct {
+	arity int
+	uses  []tagUse
+}
+
+var tagArgs = map[string]p2pOp{
+	"Send":       {3, []tagUse{{1, true}}},
+	"SendOwned":  {3, []tagUse{{1, true}}},
+	"Isend":      {3, []tagUse{{1, true}}},
+	"IsendOwned": {3, []tagUse{{1, true}}},
+	"Recv":       {2, []tagUse{{1, false}}},
+	"Irecv":      {2, []tagUse{{1, false}}},
+	"Probe":      {2, []tagUse{{1, false}}},
+	"Iprobe":     {2, []tagUse{{1, false}}},
+	"Sendrecv":   {5, []tagUse{{1, true}, {4, false}}},
 }
 
 func run(pass *analysis.Pass) error {
@@ -78,14 +90,11 @@ func checkBlock(pass *analysis.Pass, block *ast.BlockStmt) {
 			if !ok {
 				return
 			}
-			uses, ok := tagArgs[sel.Sel.Name]
-			if !ok {
+			op, ok := tagArgs[sel.Sel.Name]
+			if !ok || len(call.Args) != op.arity {
 				return
 			}
-			for _, u := range uses {
-				if u.idx >= len(call.Args) {
-					continue
-				}
+			for _, u := range op.uses {
 				tag := call.Args[u.idx]
 				if hasCall(tag) {
 					pass.Reportf(tag.Pos(),

@@ -71,3 +71,25 @@ func variableTagSkipped(c *Comm, t int) {
 	c.Send(1, t, nil)
 	c.Recv(0, t)
 }
+
+// pool mimics a worker-pool job queue whose enqueue/dequeue methods reuse
+// the p2p names with different signatures. The analyzer must recognise
+// from the argument count that these are not mpi operations.
+type pool struct{}
+
+func (p *pool) Send(worker, job int)    {}
+func (p *pool) Recv() int               { return 0 }
+func (p *pool) Probe(worker, tries int) {} // 2 args like mpi Probe — tag position is a plain variable
+
+func (p *pool) next() int { return 0 }
+
+func workerPoolNotP2P(p *pool, job, tries int) {
+	// Send here has 2 args (mpi Send has 3): its second argument is a job
+	// id, not a tag. Before the arity gate this block reported "disjoint"
+	// send/recv tags {job} vs nothing and flagged p.next() as a computed
+	// tag. None of these are messaging calls.
+	p.Send(1, job)
+	p.Send(2, p.next())
+	_ = p.Recv()
+	p.Probe(1, tries)
+}

@@ -25,6 +25,12 @@ type Estimator struct {
 	cluster   *hnoc.Cluster
 	speeds    []float64 // estimated speed per world process
 	placement []int     // world rank -> machine index
+
+	// Search-support state, precomputed once so the group-selection
+	// engine's hot path touches only read-only data:
+	compBusy  []float64 // per abstract processor, total compute units in the DAG
+	maxSpeed  float64   // fastest process speed, for LowerBound
+	machClass []int     // machine -> link-interchangeability class
 }
 
 // New prepares an estimator. speeds[r] is the estimated speed of world
@@ -46,12 +52,27 @@ func New(inst *pmdl.Instance, cluster *hnoc.Cluster, speeds []float64, placement
 	if err != nil {
 		return nil, err
 	}
+	compBusy := make([]float64, inst.NumProcs)
+	for _, t := range dag.Tasks {
+		if t.Kind == sched.KindCompute {
+			compBusy[t.Proc] += t.Units
+		}
+	}
+	maxSpeed := 0.0
+	for _, s := range speeds {
+		if s > maxSpeed {
+			maxSpeed = s
+		}
+	}
 	return &Estimator{
 		inst:      inst,
 		dag:       dag,
 		cluster:   cluster,
 		speeds:    append([]float64(nil), speeds...),
 		placement: append([]int(nil), placement...),
+		compBusy:  compBusy,
+		maxSpeed:  maxSpeed,
+		machClass: classifyMachines(cluster),
 	}, nil
 }
 

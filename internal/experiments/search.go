@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"repro/internal/estimator"
+	"repro/internal/mapper"
+)
+
+// engineProblem wires a selection problem to everything the concurrent
+// search engine can exploit: per-worker estimator sessions, the
+// compute-only lower bound, and the machine-symmetry canonical key.
+func engineProblem(est *estimator.Estimator) mapper.Problem {
+	pr := selectionProblem(est, est.Session().Timeof)
+	pr.NewObjective = func() mapper.Objective { return est.Session().Timeof }
+	pr.LowerBound = est.LowerBound
+	pr.CanonicalKey = est.AppendCanonicalKey
+	return pr
+}
+
+// searchConfigs are the engine configurations the search table sweeps.
+var searchConfigs = []struct {
+	Name string
+	Opts mapper.Options
+}{
+	{"serial", mapper.Options{Strategy: mapper.StrategyExhaustive}},
+	{"pruned", mapper.Options{Strategy: mapper.StrategyExhaustive, Prune: true}},
+	{"symmetry", mapper.Options{Strategy: mapper.StrategyExhaustive, Cache: true}},
+	{"pruned+sym", mapper.Options{Strategy: mapper.StrategyExhaustive, Prune: true, Cache: true}},
+	{"parallel4+pruned+sym", mapper.Options{Strategy: mapper.StrategyExhaustive, Parallelism: 4, Prune: true, Cache: true}},
+	{"portfolio", mapper.Options{Strategy: mapper.StrategyPortfolio, Parallelism: 4, Prune: true, Cache: true}},
+}
+
+// SearchPoint is one engine configuration's measured search work.
+type SearchPoint struct {
+	Config      string  `json:"config"`
+	Predicted   float64 `json:"predicted_s"`
+	Evaluations int64   `json:"evaluations"`
+	CacheHits   int64   `json:"cache_hits"`
+	Pruned      int64   `json:"pruned"`
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_s"`
+}
+
+// SearchBenchReport runs the exhaustive group selection for the EM3D
+// instance on the paper network under each engine configuration and
+// reports the search work. Every configuration must reproduce the serial
+// prediction exactly — the engine's determinism contract.
+func SearchBenchReport() ([]SearchPoint, error) {
+	est, err := em3dEstimator(hostileCluster(), 400_000)
+	if err != nil {
+		return nil, err
+	}
+	var out []SearchPoint
+	for _, cfg := range searchConfigs {
+		opts := cfg.Opts
+		opts.ExhaustiveLimit = 1_000_000
+		a, err := mapper.Solve(engineProblem(est), opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SearchPoint{
+			Config:      cfg.Name,
+			Predicted:   a.Time,
+			Evaluations: a.Stats.Evaluations,
+			CacheHits:   a.Stats.CacheHits,
+			Pruned:      a.Stats.Pruned,
+			Workers:     a.Stats.Workers,
+			WallSeconds: a.Stats.WallTime.Seconds(),
+		})
+	}
+	return out, nil
+}
+
+// TableSearch renders the search-engine sweep as a figure: evaluations,
+// cache hits, pruned assignments, and wall milliseconds per configuration.
+func TableSearch() (*Figure, error) {
+	points, err := SearchBenchReport()
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID:     "search",
+		Title:  "Group-selection engine: exhaustive search work per configuration (EM3D, 400k nodes)",
+		XLabel: "config (1=serial 2=pruned 3=symmetry 4=pruned+sym 5=parallel4+pruned+sym 6=portfolio)",
+		YLabel: "count / ms",
+	}
+	var pred, evals, hits, pruned, wall []float64
+	for i, p := range points {
+		f.X = append(f.X, float64(i+1))
+		pred = append(pred, p.Predicted)
+		evals = append(evals, float64(p.Evaluations))
+		hits = append(hits, float64(p.CacheHits))
+		pruned = append(pruned, float64(p.Pruned))
+		wall = append(wall, p.WallSeconds*1e3)
+	}
+	f.Series = []Series{
+		{Name: "predicted [s]", Y: pred},
+		{Name: "evaluations", Y: evals},
+		{Name: "cache hits", Y: hits},
+		{Name: "pruned", Y: pruned},
+		{Name: "wall [ms]", Y: wall},
+	}
+	f.Notes = append(f.Notes,
+		"Every configuration returns the bit-identical selection of the serial scan;",
+		"symmetry caching collapses the six identical workstations' permutations and",
+		"branch-and-bound cuts subtrees whose compute-only bound exceeds the best.")
+	return f, nil
+}

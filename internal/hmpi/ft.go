@@ -123,7 +123,11 @@ func (h *Process) GroupRecreate(g *Group, model *pmdl.Model, args ...any) (*Grou
 		h.abortGroupCreate()
 		return nil, err
 	}
-	return h.distributeGroup(asg.Ranks, inst.Parent)
+	ng, err := h.distributeGroup(asg.Ranks, inst.Parent)
+	if ng != nil {
+		ng.stats = asg.Stats
+	}
+	return ng, err
 }
 
 // ResilientPlan produces the performance model for one attempt of a
@@ -212,6 +216,7 @@ func (h *Process) resilientHost(plan ResilientPlan, work func(g *Group) error) e
 			h.ctrlTo(parked, ctrlAbort)
 			return err
 		}
+		g.stats = asg.Stats
 		werr := catchWork(func() error { return work(g) })
 		if IsFailureError(werr) {
 			// Members blocked on live peers would otherwise wait

@@ -97,8 +97,18 @@ func (h *Process) Recon(bench BenchmarkFunc) error {
 
 // solveSelection instantiates the model and solves the process-selection
 // problem over the currently free processes plus the given parent process,
-// which is pinned to the model's parent coordinate.
+// which is pinned to the model's parent coordinate. It uses the runtime's
+// configured search options.
 func (h *Process) solveSelection(model *pmdl.Model, args []any, parentRank int) (*pmdl.Instance, mapper.Assignment, error) {
+	return h.solveSelectionOpts(model, args, parentRank, h.rt.cfg.Select)
+}
+
+// solveSelectionOpts is solveSelection with explicit search options. The
+// selection problem hands the mapper everything the concurrent engine can
+// exploit: per-worker estimator sessions (allocation-free evaluation), the
+// compute-only lower bound (branch-and-bound), and the machine-symmetry
+// canonical key (memoisation).
+func (h *Process) solveSelectionOpts(model *pmdl.Model, args []any, parentRank int, opts mapper.Options) (*pmdl.Instance, mapper.Assignment, error) {
 	inst, err := model.Instantiate(args...)
 	if err != nil {
 		return nil, mapper.Assignment{}, err
@@ -112,14 +122,17 @@ func (h *Process) solveSelection(model *pmdl.Model, args []any, parentRank int) 
 		avail = append([]int{parentRank}, avail...)
 	}
 	pr := mapper.Problem{
-		P:         inst.NumProcs,
-		Avail:     avail,
-		Fixed:     map[int]int{inst.Parent: parentRank},
-		Weights:   inst.CompVolume,
-		SpeedOf:   func(r int) float64 { return h.speeds[r] },
-		Objective: est.Timeof,
+		P:            inst.NumProcs,
+		Avail:        avail,
+		Fixed:        map[int]int{inst.Parent: parentRank},
+		Weights:      inst.CompVolume,
+		SpeedOf:      func(r int) float64 { return h.speeds[r] },
+		Objective:    est.Session().Timeof,
+		NewObjective: func() mapper.Objective { return est.Session().Timeof },
+		LowerBound:   est.LowerBound,
+		CanonicalKey: est.AppendCanonicalKey,
 	}
-	asg, err := mapper.Solve(pr, h.rt.cfg.Select)
+	asg, err := mapper.Solve(pr, opts)
 	if err != nil {
 		return nil, mapper.Assignment{}, err
 	}
@@ -133,11 +146,20 @@ func (h *Process) solveSelection(model *pmdl.Model, args []any, parentRank int) 
 // generalised block size of the matrix-multiplication algorithm) before
 // creating a group.
 func (h *Process) Timeof(model *pmdl.Model, args ...any) (float64, error) {
-	_, asg, err := h.solveSelection(model, args, HostRank)
+	t, _, err := h.TimeofWithOptions(h.rt.cfg.Select, model, args...)
+	return t, err
+}
+
+// TimeofWithOptions is Timeof with explicit search options (parallelism,
+// strategy, pruning, caching, budget), overriding the runtime's
+// configured ones for this call. It additionally reports the search work
+// behind the prediction.
+func (h *Process) TimeofWithOptions(opts mapper.Options, model *pmdl.Model, args ...any) (float64, mapper.SearchStats, error) {
+	_, asg, err := h.solveSelectionOpts(model, args, HostRank, opts)
 	if err != nil {
-		return 0, err
+		return 0, mapper.SearchStats{}, err
 	}
-	return asg.Time, nil
+	return asg.Time, asg.Stats, nil
 }
 
 // GroupCreate implements HMPI_Group_create: it creates the group of
@@ -151,10 +173,19 @@ func (h *Process) Timeof(model *pmdl.Model, args ...any) (float64, error) {
 // Group whose Comm carries the algorithm's communication; non-selected
 // processes receive nil and remain free.
 func (h *Process) GroupCreate(model *pmdl.Model, args ...any) (*Group, error) {
+	return h.GroupCreateWithOptions(h.rt.cfg.Select, model, args...)
+}
+
+// GroupCreateWithOptions is GroupCreate with explicit search options
+// (parallelism, strategy, pruning, caching, budget), overriding the
+// runtime's configured ones for this creation. Only the parent's options
+// matter — free processes receive the parent's decision either way. The
+// resulting group reports the search work through Group.SearchStats.
+func (h *Process) GroupCreateWithOptions(opts mapper.Options, model *pmdl.Model, args ...any) (*Group, error) {
 	if !h.IsHost() && !h.IsFree() {
 		return nil, fmt.Errorf("hmpi: process %d is neither host nor free; it must not call GroupCreate", h.Rank())
 	}
-	return h.createGroup(h.IsHost(), model, args)
+	return h.createGroup(h.IsHost(), model, args, opts)
 }
 
 // GroupCreateChild creates a group whose parent is this process — which
@@ -165,27 +196,37 @@ func (h *Process) GroupCreate(model *pmdl.Model, args ...any) (*Group, error) {
 // as for host-parented groups. Only one group creation may be in flight at
 // a time.
 func (h *Process) GroupCreateChild(model *pmdl.Model, args ...any) (*Group, error) {
+	return h.GroupCreateChildWithOptions(h.rt.cfg.Select, model, args...)
+}
+
+// GroupCreateChildWithOptions is GroupCreateChild with explicit search
+// options, overriding the runtime's configured ones for this creation.
+func (h *Process) GroupCreateChildWithOptions(opts mapper.Options, model *pmdl.Model, args ...any) (*Group, error) {
 	if h.IsFree() {
 		return nil, fmt.Errorf("hmpi: process %d is free; a child group's parent must belong to an existing group", h.Rank())
 	}
 	if model == nil {
 		return nil, fmt.Errorf("hmpi: the parent must supply a model to GroupCreateChild")
 	}
-	return h.createGroup(true, model, args)
+	return h.createGroup(true, model, args, opts)
 }
 
 // createGroup is the shared implementation: the parent (isParent) solves
 // the selection and distributes it; free processes receive it.
-func (h *Process) createGroup(isParent bool, model *pmdl.Model, args []any) (*Group, error) {
+func (h *Process) createGroup(isParent bool, model *pmdl.Model, args []any, opts mapper.Options) (*Group, error) {
 	if isParent {
 		if model == nil {
 			return nil, fmt.Errorf("hmpi: the parent must supply a model to GroupCreate")
 		}
-		inst, asg, err := h.solveSelection(model, args, h.Rank())
+		inst, asg, err := h.solveSelectionOpts(model, args, h.Rank(), opts)
 		if err != nil {
 			return nil, err
 		}
-		return h.distributeGroup(asg.Ranks, inst.Parent)
+		g, err := h.distributeGroup(asg.Ranks, inst.Parent)
+		if g != nil {
+			g.stats = asg.Stats
+		}
+		return g, err
 	}
 	return h.receiveGroup()
 }
@@ -370,6 +411,9 @@ type Group struct {
 	rank      int // this process's group rank, -1 if not a member
 	comm      *mpi.Comm
 	freed     bool // set by GroupFree/GroupRecreate; makes freeing idempotent
+	// stats is the selection-search work behind this group, recorded on
+	// the parent (the process that ran the search); members hold zeros.
+	stats mapper.SearchStats
 }
 
 // Rank implements HMPI_Group_rank: this process's rank in the group.
@@ -384,6 +428,12 @@ func (g *Group) ParentRank() int { return g.parentIdx }
 // WorldRanks returns the world ranks of the members in group-rank order:
 // the selection HMPI made.
 func (g *Group) WorldRanks() []int { return append([]int(nil), g.ranks...) }
+
+// SearchStats reports the selection-search work (objective evaluations,
+// symmetry-cache hits, pruned assignments, workers, wall time) behind this
+// group's creation. Only the parent ran the search, so only the parent's
+// handle carries non-zero stats; members report zeros.
+func (g *Group) SearchStats() mapper.SearchStats { return g.stats }
 
 // Comm implements HMPI_Get_comm: the MPI communicator whose group is this
 // HMPI group. Applications hand it to standard MPI operations to perform

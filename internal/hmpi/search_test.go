@@ -1,0 +1,185 @@
+package hmpi
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/hnoc"
+	"repro/internal/mapper"
+)
+
+// exhaustivePaper9Opts builds the exhaustive-search option sets compared
+// by the tests below: the plain serial scan and the engine with
+// branch-and-bound and the machine-symmetry cache.
+func exhaustivePaper9Opts() (plain, tuned mapper.Options) {
+	plain = mapper.Options{Strategy: mapper.StrategyExhaustive}
+	tuned = mapper.Options{Strategy: mapper.StrategyExhaustive, Prune: true, Cache: true, Parallelism: 4}
+	return plain, tuned
+}
+
+// TestGroupCreateWithOptionsDeterministic: the parallel, pruned,
+// symmetry-cached engine must select the exact group the serial
+// exhaustive search selects, and the parent's handle must surface the
+// search statistics.
+func TestGroupCreateWithOptionsDeterministic(t *testing.T) {
+	model := testModel(t)
+	args := []any{4, []int{10, 300, 40, 80}, 50}
+	plain, tuned := exhaustivePaper9Opts()
+
+	runOnce := func(opts mapper.Options) ([]int, mapper.SearchStats) {
+		t.Helper()
+		rt := newRuntime(t, hnoc.Paper9())
+		var ranks []int
+		var stats mapper.SearchStats
+		err := rt.Run(func(h *Process) error {
+			var g *Group
+			var err error
+			if h.IsHost() || h.IsFree() {
+				g, err = h.GroupCreateWithOptions(opts, model, args...)
+				if err != nil {
+					return err
+				}
+			}
+			if h.IsMember(g) && h.IsHost() {
+				ranks = g.WorldRanks()
+				stats = g.SearchStats()
+			}
+			if h.IsMember(g) && !h.IsHost() && g.SearchStats().Evaluations != 0 {
+				return fmt.Errorf("member rank %d carries search stats", h.Rank())
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ranks, stats
+	}
+
+	wantRanks, wantStats := runOnce(plain)
+	gotRanks, gotStats := runOnce(tuned)
+	if len(gotRanks) != len(wantRanks) {
+		t.Fatalf("tuned engine selected %v, serial %v", gotRanks, wantRanks)
+	}
+	for i := range wantRanks {
+		if gotRanks[i] != wantRanks[i] {
+			t.Fatalf("tuned engine selected %v, serial %v", gotRanks, wantRanks)
+		}
+	}
+	if wantStats.Evaluations == 0 {
+		t.Fatal("serial search reported no evaluations")
+	}
+	total := wantStats.Evaluations
+	if sum := gotStats.Evaluations + gotStats.CacheHits + gotStats.Pruned; sum != total {
+		t.Fatalf("tuned engine accounts for %d of %d assignments", sum, total)
+	}
+}
+
+// TestPaper9EvaluationReduction pins the headline efficiency claim on the
+// paper's own network: on the 9-workstation cluster — six of them
+// identical — symmetry caching plus branch-and-bound must cut the
+// objective evaluations of the exhaustive group selection at least 5x.
+func TestPaper9EvaluationReduction(t *testing.T) {
+	model := testModel(t)
+	args := []any{4, []int{10, 300, 40, 80}, 50}
+	plain, tuned := exhaustivePaper9Opts()
+	rt := newRuntime(t, hnoc.Paper9())
+	err := rt.Run(func(h *Process) error {
+		if !h.IsHost() {
+			return nil
+		}
+		tPlain, sPlain, err := h.TimeofWithOptions(plain, model, args...)
+		if err != nil {
+			return err
+		}
+		tTuned, sTuned, err := h.TimeofWithOptions(tuned, model, args...)
+		if err != nil {
+			return err
+		}
+		if tTuned != tPlain {
+			return fmt.Errorf("tuned Timeof %v differs from serial %v", tTuned, tPlain)
+		}
+		if sPlain.Evaluations == 0 || sTuned.Evaluations == 0 {
+			return fmt.Errorf("search stats missing: plain %+v, tuned %+v", sPlain, sTuned)
+		}
+		if reduction := float64(sPlain.Evaluations) / float64(sTuned.Evaluations); reduction < 5 {
+			return fmt.Errorf("symmetry+pruning reduced evaluations only %.2fx (%d -> %d), want >= 5x",
+				reduction, sPlain.Evaluations, sTuned.Evaluations)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTimeofWithOptionsMatchesTimeof: the stats-reporting variant must
+// predict exactly what Timeof predicts.
+func TestTimeofWithOptionsMatchesTimeof(t *testing.T) {
+	model := testModel(t)
+	rt := newRuntime(t, hnoc.Paper9())
+	err := rt.Run(func(h *Process) error {
+		if !h.IsHost() {
+			return nil
+		}
+		want, err := h.Timeof(model, 3, []int{10, 10, 1000}, 100)
+		if err != nil {
+			return err
+		}
+		got, stats, err := h.TimeofWithOptions(rt.cfg.Select, model, 3, []int{10, 10, 1000}, 100)
+		if err != nil {
+			return err
+		}
+		if got != want {
+			return fmt.Errorf("TimeofWithOptions %v, Timeof %v", got, want)
+		}
+		if stats.Evaluations == 0 {
+			return fmt.Errorf("no evaluations reported")
+		}
+		if stats.WallTime <= 0 {
+			return fmt.Errorf("no wall time reported")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPortfolioGroupCreate: the portfolio strategy creates a working
+// group whose selection matches the exhaustive optimum on a problem small
+// enough for the exhaustive racer to finish.
+func TestPortfolioGroupCreate(t *testing.T) {
+	model := testModel(t)
+	args := []any{3, []int{10, 10, 1000}, 100}
+	plain, _ := exhaustivePaper9Opts()
+	runOnce := func(opts mapper.Options) []int {
+		t.Helper()
+		rt := newRuntime(t, hnoc.Paper9())
+		var ranks []int
+		err := rt.Run(func(h *Process) error {
+			var g *Group
+			var err error
+			if h.IsHost() || h.IsFree() {
+				g, err = h.GroupCreateWithOptions(opts, model, args...)
+				if err != nil {
+					return err
+				}
+			}
+			if h.IsMember(g) && h.IsHost() {
+				ranks = g.WorldRanks()
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ranks
+	}
+	want := runOnce(plain)
+	got := runOnce(mapper.Options{Strategy: mapper.StrategyPortfolio, Parallelism: 2, Prune: true, Cache: true})
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("portfolio selected %v, exhaustive %v", got, want)
+		}
+	}
+}

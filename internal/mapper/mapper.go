@@ -13,11 +13,12 @@ package mapper
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // Objective scores a candidate assignment (abstract processor index ->
 // world process rank); lower is better. It is typically
-// (*estimator.Estimator).Timeof.
+// (*estimator.Session).Timeof.
 type Objective func(candidate []int) float64
 
 // Problem describes one selection problem.
@@ -38,6 +39,24 @@ type Problem struct {
 	SpeedOf func(rank int) float64
 	// Objective scores candidates.
 	Objective Objective
+
+	// NewObjective, when set, returns a fresh independently-usable
+	// objective for one search worker (typically binding a new
+	// estimator.Session). Parallel search gives every worker its own;
+	// when nil, workers share Objective, which must then be safe for
+	// concurrent use.
+	NewObjective func() Objective
+	// LowerBound, when set, returns a lower bound on Objective over
+	// every completion of a partial candidate: cand[i] is meaningful
+	// where assigned[i]. It enables branch-and-bound pruning
+	// (Options.Prune). It must be safe for concurrent use.
+	LowerBound func(cand []int, assigned []bool) float64
+	// CanonicalKey, when set, appends to dst a key such that candidates
+	// with equal keys have identical Objective values (typically
+	// (*estimator.Estimator).AppendCanonicalKey, which canonicalises
+	// machine symmetry). It enables the symmetry memo cache
+	// (Options.Cache). It must be safe for concurrent use.
+	CanonicalKey func(dst []byte, cand []int) []byte
 }
 
 // Strategy selects the search algorithm.
@@ -58,6 +77,12 @@ const (
 	// StrategyRandomBest scores RandomTries random assignments and keeps
 	// the best; a baseline for the ablation study.
 	StrategyRandomBest
+	// StrategyPortfolio races exhaustive search (when the problem fits
+	// ExhaustiveLimit), multi-start local search, and random sampling
+	// concurrently under a shared best-so-far and an optional Budget.
+	// Without a budget the result is deterministic; with one, the best
+	// assignment found when time runs out is returned.
+	StrategyPortfolio
 )
 
 // Options tune the search.
@@ -66,22 +91,61 @@ type Options struct {
 	// ExhaustiveLimit caps the number of exhaustive evaluations
 	// (default 200000).
 	ExhaustiveLimit int
-	// MaxIterations caps local-search improvement rounds (default 100).
+	// MaxIterations caps local-search improvement rounds per start.
+	// Zero means the default (100); a negative value means literally no
+	// improvement rounds — the seed is scored and returned as-is.
 	MaxIterations int
-	// RandomTries is the sample size for StrategyRandomBest (default
-	// 100).
+	// RandomTries is the sample size for StrategyRandomBest. Zero means
+	// the default (100); a negative value means no tries, which is an
+	// error for StrategyRandomBest.
 	RandomTries int
+	// Parallelism is the number of search workers for exhaustive search
+	// and multi-start local search (0 or 1: serial). The assignment
+	// returned is independent of the worker count: the permutation tree
+	// is partitioned deterministically and reduced with the serial
+	// tie-break (lower time wins, earlier enumeration order on ties).
+	Parallelism int
+	// Prune enables branch-and-bound on Problem.LowerBound: subtrees
+	// whose bound exceeds the best time found anywhere are skipped.
+	// Ignored when the problem supplies no bound. Never changes the
+	// result: only strictly worse subtrees are cut.
+	Prune bool
+	// Cache enables the symmetry memo cache on Problem.CanonicalKey:
+	// candidates whose canonical keys collide are scored once. Ignored
+	// when the problem supplies no key function.
+	Cache bool
+	// Restarts is the number of local-search starts for
+	// StrategyGreedyLocal (default 1): start 0 climbs from the greedy
+	// seed, further starts climb from deterministic pseudo-random
+	// seeds, and the best result wins (earlier start on ties).
+	Restarts int
+	// Budget caps the wall-clock time of StrategyPortfolio; zero means
+	// no budget. Other strategies ignore it (they are deterministic and
+	// must stay so).
+	Budget time.Duration
 }
 
 func (o *Options) fill() {
 	if o.ExhaustiveLimit == 0 {
 		o.ExhaustiveLimit = 200_000
 	}
-	if o.MaxIterations == 0 {
+	switch {
+	case o.MaxIterations == 0:
 		o.MaxIterations = 100
+	case o.MaxIterations < 0:
+		o.MaxIterations = 0
 	}
-	if o.RandomTries == 0 {
+	switch {
+	case o.RandomTries == 0:
 		o.RandomTries = 100
+	case o.RandomTries < 0:
+		o.RandomTries = 0
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 1
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 1
 	}
 }
 
@@ -93,6 +157,8 @@ type Assignment struct {
 	Time float64
 	// Evaluations counts objective calls spent.
 	Evaluations int
+	// Stats details the search work behind the assignment.
+	Stats SearchStats
 }
 
 // Solve runs the selection search.
@@ -103,18 +169,29 @@ func Solve(pr Problem, opts Options) (Assignment, error) {
 	}
 	switch opts.Strategy {
 	case StrategyExhaustive:
+		if exhaustiveCost(len(pr.Avail), pr.P, opts.ExhaustiveLimit) < 0 {
+			return Assignment{}, fmt.Errorf("mapper: exhaustive search over %d processes in %d slots exceeds limit %d",
+				len(pr.Avail), pr.P, opts.ExhaustiveLimit)
+		}
 		return exhaustive(pr, opts)
 	case StrategyGreedy:
+		start := time.Now()
 		a := greedy(pr)
 		a.Time = pr.Objective(a.Ranks)
 		a.Evaluations = 1
+		a.Stats = SearchStats{Evaluations: 1, Workers: 1, WallTime: time.Since(start)}
 		return a, nil
 	case StrategyGreedyLocal:
 		return greedyLocal(pr, opts)
 	case StrategyRandomBest:
 		return randomBest(pr, opts)
+	case StrategyPortfolio:
+		return portfolio(pr, opts)
 	default: // StrategyAuto
-		if cost := exhaustiveCost(len(pr.Avail), pr.P, opts.ExhaustiveLimit); cost > 0 {
+		// The feasibility cost is computed here, once, for both the
+		// dispatch and the search itself (it used to be recomputed
+		// inside the exhaustive path).
+		if exhaustiveCost(len(pr.Avail), pr.P, opts.ExhaustiveLimit) > 0 {
 			return exhaustive(pr, opts)
 		}
 		return greedyLocal(pr, opts)
@@ -166,51 +243,12 @@ func exhaustiveCost(n, p, limit int) int {
 }
 
 // exhaustive enumerates all injective assignments of Avail ranks to the P
-// abstract positions (respecting Fixed) and returns the best.
+// abstract positions (respecting Fixed) and returns the best. The caller
+// (Solve) has already verified the cost against ExhaustiveLimit; the
+// engine in engine.go applies the Parallelism, Prune, and Cache options
+// without changing the result.
 func exhaustive(pr Problem, opts Options) (Assignment, error) {
-	if exhaustiveCost(len(pr.Avail), pr.P, opts.ExhaustiveLimit) < 0 {
-		return Assignment{}, fmt.Errorf("mapper: exhaustive search over %d processes in %d slots exceeds limit %d",
-			len(pr.Avail), pr.P, opts.ExhaustiveLimit)
-	}
-	cand := make([]int, pr.P)
-	used := make(map[int]bool, pr.P)
-	for a, r := range pr.Fixed {
-		cand[a] = r
-		used[r] = true
-	}
-	best := Assignment{Time: -1}
-	evals := 0
-	var rec func(slot int)
-	rec = func(slot int) {
-		for slot < pr.P {
-			if _, fixed := pr.Fixed[slot]; !fixed {
-				break
-			}
-			slot++
-		}
-		if slot == pr.P {
-			t := pr.Objective(cand)
-			evals++
-			if best.Time < 0 || t < best.Time {
-				best.Time = t
-				best.Ranks = append(best.Ranks[:0], cand...)
-			}
-			return
-		}
-		for _, r := range pr.Avail {
-			if used[r] {
-				continue
-			}
-			cand[slot] = r
-			used[r] = true
-			rec(slot + 1)
-			used[r] = false
-		}
-	}
-	rec(0)
-	best.Ranks = append([]int(nil), best.Ranks...)
-	best.Evaluations = evals
-	return best, nil
+	return runExhaustive(pr, opts, nil, nil)
 }
 
 // greedy assigns the heaviest abstract processors to the fastest available
@@ -254,117 +292,21 @@ func greedy(pr Problem) Assignment {
 
 // greedyLocal refines the greedy seed with hill-climbing local search:
 // swap the processes of two abstract positions, or substitute an unused
-// available process, keeping any move that lowers the objective.
+// available process, keeping any move that lowers the objective. With
+// Options.Restarts > 1 further climbs start from deterministic
+// pseudo-random seeds (see greedyLocalSearch in engine.go).
 func greedyLocal(pr Problem, opts Options) (Assignment, error) {
-	a := greedy(pr)
-	cand := a.Ranks
-	evals := 0
-	best := pr.Objective(cand)
-	evals++
-
-	fixed := func(slot int) bool {
-		_, ok := pr.Fixed[slot]
-		return ok
-	}
-	for iter := 0; iter < opts.MaxIterations; iter++ {
-		improved := false
-		// Pairwise swaps.
-		for i := 0; i < pr.P; i++ {
-			if fixed(i) {
-				continue
-			}
-			for j := i + 1; j < pr.P; j++ {
-				if fixed(j) {
-					continue
-				}
-				cand[i], cand[j] = cand[j], cand[i]
-				t := pr.Objective(cand)
-				evals++
-				if t < best {
-					best = t
-					improved = true
-				} else {
-					cand[i], cand[j] = cand[j], cand[i]
-				}
-			}
-		}
-		// Substitutions with unused processes.
-		used := make(map[int]bool, pr.P)
-		for _, r := range cand {
-			used[r] = true
-		}
-		for i := 0; i < pr.P; i++ {
-			if fixed(i) {
-				continue
-			}
-			for _, r := range pr.Avail {
-				if used[r] {
-					continue
-				}
-				old := cand[i]
-				cand[i] = r
-				t := pr.Objective(cand)
-				evals++
-				if t < best {
-					best = t
-					used[r] = true
-					delete(used, old)
-					improved = true
-				} else {
-					cand[i] = old
-				}
-			}
-		}
-		if !improved {
-			break
-		}
-	}
-	return Assignment{Ranks: cand, Time: best, Evaluations: evals}, nil
+	return greedyLocalSearch(pr, opts, nil, nil)
 }
 
 // randomBest scores opts.RandomTries pseudo-random assignments (xorshift,
 // fixed seed: deterministic) and keeps the best.
 func randomBest(pr Problem, opts Options) (Assignment, error) {
-	state := uint64(0x9E3779B97F4A7C15)
-	next := func(n int) int {
-		state ^= state << 13
-		state ^= state >> 7
-		state ^= state << 17
-		return int(state % uint64(n))
+	if opts.RandomTries <= 0 {
+		return Assignment{}, fmt.Errorf("mapper: StrategyRandomBest with no tries (RandomTries < 0)")
 	}
-	best := Assignment{Time: -1}
-	pool := make([]int, 0, len(pr.Avail))
-	fixedRanks := make(map[int]bool, len(pr.Fixed))
-	for _, r := range pr.Fixed {
-		fixedRanks[r] = true
-	}
-	for _, r := range pr.Avail {
-		if !fixedRanks[r] {
-			pool = append(pool, r)
-		}
-	}
-	for try := 0; try < opts.RandomTries; try++ {
-		perm := append([]int(nil), pool...)
-		for i := len(perm) - 1; i > 0; i-- {
-			j := next(i + 1)
-			perm[i], perm[j] = perm[j], perm[i]
-		}
-		cand := make([]int, pr.P)
-		k := 0
-		for a := 0; a < pr.P; a++ {
-			if r, ok := pr.Fixed[a]; ok {
-				cand[a] = r
-				continue
-			}
-			cand[a] = perm[k]
-			k++
-		}
-		t := pr.Objective(cand)
-		if best.Time < 0 || t < best.Time {
-			best.Time = t
-			best.Ranks = cand
-		}
-	}
-	best.Evaluations = opts.RandomTries
-	return best, nil
+	start := time.Now()
+	a := randomSearch(pr, opts.RandomTries, pr.Objective, nil, nil)
+	a.Stats.WallTime = time.Since(start)
+	return a, nil
 }

@@ -126,15 +126,60 @@ type Result struct {
 	BytesOut []float64
 }
 
+// Scratch holds the replay state of one Schedule call so that the hot
+// path of group selection — scoring thousands of candidate arrangements
+// against the same DAG — can run allocation-free. The zero value is ready
+// to use; buffers grow on demand and are reused across calls. A Scratch
+// must be owned by a single goroutine (one search worker); distinct
+// Scratches never share state, so any number may replay one DAG
+// concurrently.
+type Scratch struct {
+	finish   []float64
+	procFree []float64
+	nicFree  []float64
+	busy     []float64
+	bytesOut []float64
+}
+
+// reset sizes every buffer and zeroes the active prefix.
+func (s *Scratch) reset(tasks, procs int) {
+	s.finish = resizeZero(s.finish, tasks)
+	s.procFree = resizeZero(s.procFree, procs)
+	s.nicFree = resizeZero(s.nicFree, procs)
+	s.busy = resizeZero(s.busy, procs)
+	s.bytesOut = resizeZero(s.bytesOut, procs)
+}
+
+func resizeZero(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
 // Schedule replays the DAG in insertion order (a topological order) against
 // the resources and returns the timing. numProcs is the number of abstract
-// processors referenced by the tasks.
+// processors referenced by the tasks. The Result's slices are freshly
+// allocated; use ScheduleInto with a Scratch on hot paths.
 func Schedule(d *DAG, numProcs int, res Resources) Result {
-	finish := make([]float64, len(d.Tasks))
-	procFree := make([]float64, numProcs)
-	nicFree := make([]float64, numProcs)
-	busy := make([]float64, numProcs)
-	bytesOut := make([]float64, numProcs)
+	return ScheduleInto(new(Scratch), d, numProcs, res)
+}
+
+// ScheduleInto is Schedule with reusable state: the returned Result's
+// slices alias the scratch and are valid only until its next use. The
+// replay itself is identical to Schedule — same operations in the same
+// order — so the two produce bit-identical timings.
+func ScheduleInto(sc *Scratch, d *DAG, numProcs int, res Resources) Result {
+	sc.reset(len(d.Tasks), numProcs)
+	finish := sc.finish
+	procFree := sc.procFree
+	nicFree := sc.nicFree
+	busy := sc.busy
+	bytesOut := sc.bytesOut
 
 	makespan := 0.0
 	for _, t := range d.Tasks {
@@ -183,6 +228,12 @@ func Schedule(d *DAG, numProcs int, res Resources) Result {
 // Makespan is a convenience wrapper returning only the makespan.
 func Makespan(d *DAG, numProcs int, res Resources) float64 {
 	return Schedule(d, numProcs, res).Makespan
+}
+
+// MakespanInto is Makespan with reusable state: the allocation-free inner
+// loop of group selection.
+func MakespanInto(sc *Scratch, d *DAG, numProcs int, res Resources) float64 {
+	return ScheduleInto(sc, d, numProcs, res).Makespan
 }
 
 // CriticalPath returns the length of the longest dependency chain through
