@@ -35,11 +35,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Benchmarks plus the machine-readable search-engine sweep (BENCH_PR3.json
-# records evaluations/cache hits/pruned/wall time per engine configuration).
+# Benchmarks plus the machine-readable sweeps: BENCH_PR3.json records the
+# search engine's evaluations/cache hits/pruned/wall time per
+# configuration; BENCH_PR4.json records the collective engine's simulated
+# time per algorithm and the TCP wire path's allocs/op with and without
+# buffer pooling.
 bench:
 	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem ./internal/mpi/
 	$(GO) run ./cmd/hmpibench -searchbench BENCH_PR3.json
+	$(GO) run ./cmd/hmpibench -collbench BENCH_PR4.json
 
 # Profile the group-selection sweep; inspect with `go tool pprof`.
 profile:
@@ -61,4 +66,4 @@ examples:
 	$(GO) run ./examples/tcptransport
 
 clean:
-	rm -rf out test_output.txt bench_output.txt BENCH_PR3.json cpu.pprof mem.pprof
+	rm -rf out test_output.txt bench_output.txt BENCH_PR3.json BENCH_PR4.json cpu.pprof mem.pprof

@@ -9,6 +9,7 @@
 //	hmpibench -fig 9a -csv      # comma-separated output
 //	hmpibench -list             # available figure IDs
 //	hmpibench -searchbench BENCH_PR3.json   # search-engine sweep as JSON
+//	hmpibench -collbench BENCH_PR4.json     # collective-engine benchmark as JSON
 //	hmpibench -fig mapper -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -38,6 +39,22 @@ func writeSearchBench(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// writeCollBench runs the collective-engine benchmark (simulated time per
+// algorithm, wall time and allocs/op, TCP wire-path allocation profile)
+// and stores it as JSON (the artifact CI publishes as the collective
+// performance record).
+func writeCollBench(path string) error {
+	bench, err := experiments.CollBenchReport()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // writeCSV stores one figure as CSV in dir.
 func writeCSV(dir, id string, f *experiments.Figure) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -57,6 +74,7 @@ func main() {
 	outDir := flag.String("o", "", "also write each figure as <dir>/fig_<id>.csv")
 	list := flag.Bool("list", false, "list available figure IDs and exit")
 	searchBench := flag.String("searchbench", "", "run the search-engine sweep and write it as JSON to the given file, then exit")
+	collBench := flag.String("collbench", "", "run the collective-engine benchmark and write it as JSON to the given file, then exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to the given file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to the given file")
 	flag.Parse()
@@ -95,6 +113,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *searchBench)
+		return
+	}
+
+	if *collBench != "" {
+		if err := writeCollBench(*collBench); err != nil {
+			fmt.Fprintf(os.Stderr, "hmpibench: collbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *collBench)
 		return
 	}
 

@@ -1,0 +1,196 @@
+package estimator
+
+// Analytic cost model for the collective algorithm engine (internal/mpi's
+// CollTuning): Hockney-style formulas predicting the completion time of
+// each collective algorithm on a set of machines, using the worst link
+// among the member pairs (on a heterogeneous LAN the slowest link
+// dominates a collective's critical path). The mpi package charges a
+// point-to-point transfer of n bytes
+//
+//	sender   o + n/B   (overhead + interface serialisation)
+//	wire     L         (latency; arrival = send end + L)
+//	receiver o         (overhead, absorbed at arrival)
+//
+// so one tree hop costs msgTime(n) = 2o + L + n/B, and the formulas below
+// are sums of hop costs along each algorithm's critical path. The model's
+// purpose is selection and threshold derivation (where is the
+// ring/redbcast crossover on this network?), not exact prediction — the
+// simulator remains the ground truth, and the tests check the model
+// against it.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hnoc"
+)
+
+// CollModel predicts collective completion times for a group of p
+// processes joined by (at worst) one link specification.
+type CollModel struct {
+	P   int     // number of processes
+	Lat float64 // worst-link latency (seconds)
+	Bw  float64 // worst-link bandwidth (bytes/second)
+	Ov  float64 // worst-link per-message overhead (seconds)
+}
+
+// NewCollModel builds the model for the processes placed on the given
+// machines of the cluster, taking the worst (highest-latency, then
+// lowest-bandwidth) link over all distinct member machine pairs.
+func NewCollModel(cluster *hnoc.Cluster, machines []int) (*CollModel, error) {
+	if len(machines) < 1 {
+		return nil, fmt.Errorf("estimator: collective model needs at least one machine")
+	}
+	m := &CollModel{P: len(machines)}
+	for i, a := range machines {
+		if a < 0 || a >= cluster.Size() {
+			return nil, fmt.Errorf("estimator: machine %d out of range", a)
+		}
+		for _, b := range machines[:i] {
+			l := cluster.Link(a, b)
+			if l.Latency > m.Lat || (l.Latency == m.Lat && (m.Bw == 0 || l.Bandwidth < m.Bw)) {
+				m.Lat, m.Bw, m.Ov = l.Latency, l.Bandwidth, l.Overhead
+			}
+		}
+	}
+	if m.P == 1 || m.Bw == 0 {
+		// Single member (no links): every collective is free.
+		m.Bw = math.Inf(1)
+	}
+	return m, nil
+}
+
+// msgTime is the cost of one tree hop carrying n bytes.
+func (m *CollModel) msgTime(n float64) float64 {
+	return 2*m.Ov + m.Lat + n/m.Bw
+}
+
+// treeDepth is ceil(log2 p), the depth of a binomial tree over p ranks.
+func (m *CollModel) treeDepth() float64 {
+	d := 0
+	for s := 1; s < m.P; s *= 2 {
+		d++
+	}
+	return float64(d)
+}
+
+// BcastBinomial predicts the legacy broadcast: the payload crosses
+// ceil(log2 p) tree levels whole.
+func (m *CollModel) BcastBinomial(nbytes int) float64 {
+	if m.P == 1 {
+		return 0
+	}
+	return m.treeDepth() * m.msgTime(float64(nbytes))
+}
+
+// BcastSegmented predicts the pipelined broadcast with the given segment
+// size: the pipeline fills over the tree depth with one segment, then
+// streams the remaining segments behind it.
+func (m *CollModel) BcastSegmented(nbytes, segSize int) float64 {
+	if m.P == 1 || nbytes == 0 {
+		return 0
+	}
+	if segSize <= 0 || segSize > nbytes {
+		segSize = nbytes
+	}
+	segs := math.Ceil(float64(nbytes) / float64(segSize))
+	return (m.treeDepth() + segs - 1) * m.msgTime(float64(segSize))
+}
+
+// ReduceBinomial predicts the legacy binomial reduce (same structure as
+// the binomial broadcast, run in reverse).
+func (m *CollModel) ReduceBinomial(nbytes int) float64 {
+	return m.BcastBinomial(nbytes)
+}
+
+// AllreduceRedBcast predicts the legacy Allreduce: a binomial reduce to
+// rank 0 followed by a binomial broadcast.
+func (m *CollModel) AllreduceRedBcast(nbytes int) float64 {
+	return m.ReduceBinomial(nbytes) + m.BcastBinomial(nbytes)
+}
+
+// AllreduceRecDbl predicts the recursive-doubling Allreduce: log2(p)
+// full-vector exchanges, plus a fold-and-return round when p is not a
+// power of two.
+func (m *CollModel) AllreduceRecDbl(nbytes int) float64 {
+	if m.P == 1 {
+		return 0
+	}
+	t := m.treeDepth() * m.msgTime(float64(nbytes))
+	if m.P&(m.P-1) != 0 {
+		t += 2 * m.msgTime(float64(nbytes))
+	}
+	return t
+}
+
+// AllreduceRing predicts the Rabenseifner-style ring Allreduce: 2(p-1)
+// steps each carrying one p-th of the vector.
+func (m *CollModel) AllreduceRing(nbytes int) float64 {
+	if m.P == 1 {
+		return 0
+	}
+	p := float64(m.P)
+	return 2 * (p - 1) * m.msgTime(float64(nbytes)/p)
+}
+
+// GatherFlat predicts the flat gather of nbytes per member: the children
+// transfer concurrently (switched network), the root absorbs the common
+// arrival and pays its per-message overhead p-1 times.
+func (m *CollModel) GatherFlat(nbytes int) float64 {
+	if m.P == 1 {
+		return 0
+	}
+	p := float64(m.P)
+	return m.Ov + float64(nbytes)/m.Bw + m.Lat + (p-1)*m.Ov
+}
+
+// GatherBinomial predicts the binomial gather of nbytes per member: the
+// critical path climbs the tree with the bundle doubling per level, so
+// the byte term telescopes to (p-1)/p of the total payload while the
+// latency term stays logarithmic.
+func (m *CollModel) GatherBinomial(nbytes int) float64 {
+	if m.P == 1 {
+		return 0
+	}
+	t := 0.0
+	carried := float64(nbytes)
+	for s := 1; s < m.P; s *= 2 {
+		t += m.msgTime(carried)
+		carried *= 2
+	}
+	return t
+}
+
+// RingCrossoverBytes solves AllreduceRedBcast(x) = AllreduceRing(x) for
+// the payload size above which the ring wins on this network. Returns 0
+// when the ring never wins (p < 3: the ring's 2(p-1) latencies always
+// lose or tie).
+func (m *CollModel) RingCrossoverBytes() int {
+	if m.P < 3 {
+		return 0
+	}
+	p := float64(m.P)
+	d := m.treeDepth()
+	// 2d(2o+L) + 2d x/B = 2(p-1)(2o+L) + 2x(p-1)/(pB)
+	perByte := (2*d - 2*(p-1)/p) / m.Bw
+	if perByte <= 0 {
+		return 0
+	}
+	fixed := (2*(p-1) - 2*d) * (2*m.Ov + m.Lat)
+	if fixed <= 0 {
+		return 0
+	}
+	return int(math.Ceil(fixed / perByte))
+}
+
+// BcastSegCrossoverBytes solves BcastBinomial(x) = BcastSegmented(x, seg)
+// numerically for the payload size above which the pipeline wins.
+// Returns 0 when it never wins below the given ceiling.
+func (m *CollModel) BcastSegCrossoverBytes(segSize, ceil int) int {
+	for n := segSize; n <= ceil; n *= 2 {
+		if m.BcastSegmented(n, segSize) < m.BcastBinomial(n) {
+			return n
+		}
+	}
+	return 0
+}

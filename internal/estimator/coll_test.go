@@ -1,0 +1,118 @@
+package estimator
+
+import (
+	"testing"
+
+	"repro/internal/hnoc"
+	"repro/internal/mpi"
+)
+
+func paper9Model(t *testing.T) *CollModel {
+	t.Helper()
+	cluster := hnoc.Paper9()
+	machines := make([]int, cluster.Size())
+	for i := range machines {
+		machines[i] = i
+	}
+	m, err := NewCollModel(cluster, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCollModelShape(t *testing.T) {
+	m := paper9Model(t)
+	if m.P != 9 {
+		t.Fatalf("P = %d, want 9", m.P)
+	}
+	eth := hnoc.Ethernet100()
+	if m.Lat != eth.Latency || m.Bw != eth.Bandwidth || m.Ov != eth.Overhead {
+		t.Fatalf("worst link (%v,%v,%v) is not Ethernet100", m.Lat, m.Bw, m.Ov)
+	}
+	// Costs grow with payload.
+	for _, f := range []func(int) float64{m.BcastBinomial, m.AllreduceRedBcast, m.AllreduceRecDbl, m.AllreduceRing, m.GatherFlat, m.GatherBinomial} {
+		if f(1<<20) <= f(64) {
+			t.Fatal("collective cost not increasing in payload size")
+		}
+	}
+}
+
+func TestCollModelRingCrossover(t *testing.T) {
+	m := paper9Model(t)
+	x := m.RingCrossoverBytes()
+	if x <= 0 {
+		t.Fatal("ring never wins on Paper9, expected a crossover")
+	}
+	if x < 256 || x > 10<<20 {
+		t.Fatalf("crossover %d bytes outside the plausible band", x)
+	}
+	// Below the crossover the legacy algorithm wins, above it the ring.
+	if m.AllreduceRing(x/4) < m.AllreduceRedBcast(x/4) {
+		t.Fatalf("ring predicted to win at %d bytes, below the %d-byte crossover", x/4, x)
+	}
+	if m.AllreduceRing(4*x) >= m.AllreduceRedBcast(4*x) {
+		t.Fatalf("ring predicted to lose at %d bytes, above the %d-byte crossover", 4*x, x)
+	}
+	// At 1 MiB the ring's bandwidth optimality should be decisive: the
+	// acceptance bar for this engine is a >= 2x win at large payloads.
+	if ratio := m.AllreduceRedBcast(1<<20) / m.AllreduceRing(1<<20); ratio < 2 {
+		t.Fatalf("predicted large-message ring speedup %.2fx, want >= 2x", ratio)
+	}
+}
+
+// simulatedAllreduce runs a one-shot Allreduce of nbytes on the Paper9
+// network under the given tuning and returns the simulated makespan.
+func simulatedAllreduce(t *testing.T, tuning *mpi.CollTuning, nbytes int) float64 {
+	t.Helper()
+	cluster := hnoc.Paper9()
+	w := mpi.NewWorld(cluster, mpi.OneProcessPerMachine(cluster))
+	w.SetCollTuning(tuning)
+	err := w.Run(func(p *mpi.Proc) error {
+		data := make([]byte, nbytes)
+		p.CommWorld().Allreduce(data, mpi.SumFloat64)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return float64(w.Makespan())
+}
+
+// TestCollModelAgreesWithSimulation: the model's algorithm ordering must
+// match the simulator's on both sides of the crossover — that is what
+// makes it usable for threshold selection.
+func TestCollModelAgreesWithSimulation(t *testing.T) {
+	m := paper9Model(t)
+	legacy := &mpi.CollTuning{Allreduce: mpi.AllreduceRedBcast}
+	ring := &mpi.CollTuning{Allreduce: mpi.AllreduceRing}
+
+	const large = 1 << 20
+	simLegacy := simulatedAllreduce(t, legacy, large)
+	simRing := simulatedAllreduce(t, ring, large)
+	if simRing >= simLegacy {
+		t.Fatalf("simulated ring (%.4fs) not faster than legacy (%.4fs) at %d bytes", simRing, simLegacy, large)
+	}
+	if m.AllreduceRing(large) >= m.AllreduceRedBcast(large) {
+		t.Fatal("model disagrees with simulation at large payload")
+	}
+
+	const small = 64
+	simLegacySmall := simulatedAllreduce(t, legacy, small)
+	simRingSmall := simulatedAllreduce(t, ring, small)
+	if simRingSmall <= simLegacySmall {
+		t.Fatalf("simulated ring (%.6fs) unexpectedly faster than legacy (%.6fs) at %d bytes", simRingSmall, simLegacySmall, small)
+	}
+	if m.AllreduceRing(small) <= m.AllreduceRedBcast(small) {
+		t.Fatal("model disagrees with simulation at small payload")
+	}
+
+	// The model's predicted large-message speedup should be in the same
+	// ballpark as the simulated one (within 2x either way): it is a
+	// selection model, not an oracle.
+	simRatio := simLegacy / simRing
+	modelRatio := m.AllreduceRedBcast(large) / m.AllreduceRing(large)
+	if modelRatio > 2*simRatio || simRatio > 2*modelRatio {
+		t.Fatalf("model speedup %.2fx vs simulated %.2fx: off by more than 2x", modelRatio, simRatio)
+	}
+}

@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/estimator"
+	"repro/internal/hnoc"
+	"repro/internal/mpi"
+)
+
+// This file benchmarks the collective algorithm engine (internal/mpi's
+// CollTuning) on the paper's 9-workstation network: the simulated
+// completion time of each algorithm, the host wall time and allocations
+// spent simulating it, and the allocation profile of the TCP wire path
+// with and without buffer pooling.
+
+// CollPoint is one collective algorithm at one payload size.
+type CollPoint struct {
+	Collective  string  `json:"collective"`
+	Algorithm   string  `json:"algorithm"`
+	Bytes       int     `json:"bytes"`
+	SimSeconds  float64 `json:"simulated_s"`
+	WallNsPerOp int64   `json:"wall_ns_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// WirePoint is the measured TCP send/recv round-trip cost at one payload
+// size, with buffer pooling on or off.
+type WirePoint struct {
+	Bytes       int   `json:"payload_bytes"`
+	Pooled      bool  `json:"pooled"`
+	NsPerOp     int64 `json:"ns_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+// CollBench is the full collective-engine benchmark artifact
+// (BENCH_PR4.json).
+type CollBench struct {
+	// Collectives holds simulated Paper9 completion times per algorithm
+	// and size; rows with the same (collective, bytes) compare algorithms.
+	Collectives []CollPoint `json:"collectives"`
+	// WirePath holds the TCP transport's measured allocation profile.
+	WirePath []WirePoint `json:"wire_path"`
+	// AllreduceLargeSpeedup is simulated legacy/ring time at the largest
+	// Allreduce payload (the acceptance bar for this engine is >= 2).
+	AllreduceLargeSpeedup float64 `json:"allreduce_large_speedup"`
+	// ModelRingCrossoverBytes is the analytic model's predicted
+	// redbcast/ring crossover on Paper9 (estimator.CollModel).
+	ModelRingCrossoverBytes int `json:"model_ring_crossover_bytes"`
+}
+
+// simColl runs one collective under the given tuning on the Paper9
+// network and returns the simulated makespan, the host nanoseconds, and
+// the host allocations per operation.
+func simColl(tuning *mpi.CollTuning, main func(p *mpi.Proc) error) (CollPoint, error) {
+	var pt CollPoint
+	var runErr error
+	run := func() float64 {
+		cluster := hnoc.Paper9()
+		w := mpi.NewWorld(cluster, mpi.OneProcessPerMachine(cluster))
+		w.SetCollTuning(tuning)
+		if err := w.Run(main); err != nil {
+			runErr = err
+			return 0
+		}
+		return float64(w.Makespan())
+	}
+	pt.SimSeconds = run()
+	if runErr != nil {
+		return pt, runErr
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			run()
+		}
+	})
+	if runErr != nil {
+		return pt, runErr
+	}
+	pt.WallNsPerOp = res.NsPerOp()
+	pt.AllocsPerOp = res.AllocsPerOp()
+	return pt, nil
+}
+
+// collCases enumerates the algorithm comparisons the benchmark runs.
+func collCases() []struct {
+	collective, algorithm string
+	bytes                 int
+	tuning                *mpi.CollTuning
+	main                  func(tuning *mpi.CollTuning, nbytes int) func(p *mpi.Proc) error
+} {
+	allreduce := func(tuning *mpi.CollTuning, nbytes int) func(p *mpi.Proc) error {
+		return func(p *mpi.Proc) error {
+			p.CommWorld().Allreduce(make([]byte, nbytes), mpi.SumFloat64)
+			return nil
+		}
+	}
+	bcast := func(tuning *mpi.CollTuning, nbytes int) func(p *mpi.Proc) error {
+		return func(p *mpi.Proc) error {
+			var data []byte
+			if p.Rank() == 0 {
+				data = make([]byte, nbytes)
+			}
+			p.CommWorld().Bcast(0, data)
+			return nil
+		}
+	}
+	gather := func(tuning *mpi.CollTuning, nbytes int) func(p *mpi.Proc) error {
+		return func(p *mpi.Proc) error {
+			p.CommWorld().Gather(0, make([]byte, nbytes))
+			return nil
+		}
+	}
+	reduceScatter := func(tuning *mpi.CollTuning, nbytes int) func(p *mpi.Proc) error {
+		return func(p *mpi.Proc) error {
+			comm := p.CommWorld()
+			parts := make([][]byte, comm.Size())
+			for i := range parts {
+				parts[i] = make([]byte, nbytes/comm.Size())
+			}
+			comm.ReduceScatter(parts, mpi.SumFloat64)
+			return nil
+		}
+	}
+	type kase = struct {
+		collective, algorithm string
+		bytes                 int
+		tuning                *mpi.CollTuning
+		main                  func(tuning *mpi.CollTuning, nbytes int) func(p *mpi.Proc) error
+	}
+	var cases []kase
+	for _, n := range []int{1 << 10, 64 << 10, 1 << 20} {
+		cases = append(cases,
+			kase{"allreduce", "redbcast", n, &mpi.CollTuning{Allreduce: mpi.AllreduceRedBcast}, allreduce},
+			kase{"allreduce", "recdbl", n, &mpi.CollTuning{Allreduce: mpi.AllreduceRecursiveDoubling}, allreduce},
+			kase{"allreduce", "ring", n, &mpi.CollTuning{Allreduce: mpi.AllreduceRing}, allreduce},
+			kase{"allreduce", "auto", n, mpi.AutoCollTuning(), allreduce},
+		)
+	}
+	for _, n := range []int{64 << 10, 1 << 20} {
+		cases = append(cases,
+			kase{"bcast", "binomial", n, &mpi.CollTuning{Bcast: mpi.BcastBinomial}, bcast},
+			kase{"bcast", "segmented", n, &mpi.CollTuning{Bcast: mpi.BcastSegmented}, bcast},
+		)
+	}
+	for _, n := range []int{256, 64 << 10} {
+		cases = append(cases,
+			kase{"gather", "flat", n, &mpi.CollTuning{Gather: mpi.GatherFlat}, gather},
+			kase{"gather", "binomial", n, &mpi.CollTuning{Gather: mpi.GatherBinomial}, gather},
+		)
+	}
+	for _, n := range []int{9 * (4 << 10), 9 * (128 << 10)} {
+		cases = append(cases,
+			kase{"reducescatter", "viaroot", n, &mpi.CollTuning{ReduceScatter: mpi.ReduceScatterViaRoot}, reduceScatter},
+			kase{"reducescatter", "pairwise", n, &mpi.CollTuning{ReduceScatter: mpi.ReduceScatterPairwise}, reduceScatter},
+		)
+	}
+	return cases
+}
+
+// wirePingPong measures the TCP transport's send/recv round trip on a
+// two-machine world.
+func wirePingPong(nbytes int, pooled bool) (WirePoint, error) {
+	mpi.SetBufferPooling(pooled)
+	defer mpi.SetBufferPooling(true)
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		cluster := hnoc.Homogeneous(2, 100)
+		w, closeT, err := mpi.NewWorldTCPOpts(cluster, mpi.OneProcessPerMachine(cluster), mpi.TCPOptions{})
+		if err != nil {
+			runErr = err
+			return
+		}
+		defer func() { _ = closeT() }()
+		b.ReportAllocs()
+		b.ResetTimer()
+		err = w.Run(func(p *mpi.Proc) error {
+			data := make([]byte, nbytes)
+			comm := p.CommWorld()
+			for i := 0; i < b.N; i++ {
+				if p.Rank() == 0 {
+					comm.Send(1, 0, data)
+					comm.Recv(1, 0)
+				} else {
+					comm.Recv(0, 0)
+					comm.Send(0, 0, data)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			runErr = err
+		}
+	})
+	if runErr != nil {
+		return WirePoint{}, runErr
+	}
+	return WirePoint{
+		Bytes:       nbytes,
+		Pooled:      pooled,
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}, nil
+}
+
+// CollBenchReport runs the collective-engine benchmark and returns the
+// BENCH_PR4.json artifact.
+func CollBenchReport() (*CollBench, error) {
+	out := &CollBench{}
+	var legacyLarge, ringLarge float64
+	largest := 0
+	for _, kase := range collCases() {
+		pt, err := simColl(kase.tuning, kase.main(kase.tuning, kase.bytes))
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s at %d bytes: %w", kase.collective, kase.algorithm, kase.bytes, err)
+		}
+		pt.Collective = kase.collective
+		pt.Algorithm = kase.algorithm
+		pt.Bytes = kase.bytes
+		out.Collectives = append(out.Collectives, pt)
+		if kase.collective == "allreduce" && kase.bytes >= largest {
+			largest = kase.bytes
+			switch kase.algorithm {
+			case "redbcast":
+				legacyLarge = pt.SimSeconds
+			case "ring":
+				ringLarge = pt.SimSeconds
+			}
+		}
+	}
+	if ringLarge > 0 {
+		out.AllreduceLargeSpeedup = legacyLarge / ringLarge
+	}
+	for _, nbytes := range []int{64, 4 << 10, 64 << 10} {
+		for _, pooled := range []bool{true, false} {
+			wp, err := wirePingPong(nbytes, pooled)
+			if err != nil {
+				return nil, fmt.Errorf("wire ping-pong at %d bytes (pooled=%v): %w", nbytes, pooled, err)
+			}
+			out.WirePath = append(out.WirePath, wp)
+		}
+	}
+	cluster := hnoc.Paper9()
+	machines := make([]int, cluster.Size())
+	for i := range machines {
+		machines[i] = i
+	}
+	model, err := estimator.NewCollModel(cluster, machines)
+	if err != nil {
+		return nil, err
+	}
+	out.ModelRingCrossoverBytes = model.RingCrossoverBytes()
+	return out, nil
+}
+
+// TableColl renders the collective-engine comparison as a figure:
+// simulated seconds per algorithm over the swept payload sizes.
+func TableColl() (*Figure, error) {
+	bench, err := CollBenchReport()
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure{
+		ID:     "coll",
+		Title:  "Collective engine: simulated time per algorithm on Paper9",
+		XLabel: "case",
+		YLabel: "s",
+	}
+	var sim []float64
+	var labels []string
+	for i, p := range bench.Collectives {
+		f.X = append(f.X, float64(i+1))
+		sim = append(sim, p.SimSeconds)
+		labels = append(labels, fmt.Sprintf("%d=%s/%s/%dB", i+1, p.Collective, p.Algorithm, p.Bytes))
+	}
+	f.Series = []Series{{Name: "simulated", Y: sim}}
+	for i := 0; i < len(labels); i += 4 {
+		end := i + 4
+		if end > len(labels) {
+			end = len(labels)
+		}
+		f.Notes = append(f.Notes, "cases "+strings.Join(labels[i:end], ", "))
+	}
+	f.Notes = append(f.Notes,
+		fmt.Sprintf("large-message Allreduce speedup ring vs legacy: %.2fx (acceptance bar 2x);", bench.AllreduceLargeSpeedup),
+		fmt.Sprintf("analytic model's predicted ring crossover: %d bytes.", bench.ModelRingCrossoverBytes))
+	return f, nil
+}

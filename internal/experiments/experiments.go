@@ -55,6 +55,7 @@ func Registry() map[string]Generator {
 		"jacobi":      TableJacobi,
 		"degradation": TableDegradation,
 		"search":      TableSearch,
+		"coll":        TableColl,
 	}
 }
 

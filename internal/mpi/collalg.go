@@ -1,0 +1,443 @@
+package mpi
+
+// The non-legacy collective algorithms of the selection engine (see
+// colltuning.go for the policy that picks them and collective.go for the
+// dispatchers). Every algorithm here is an unexported alternative body
+// for a public collective: same arguments, same result, different
+// communication structure — and therefore a different simulated cost.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// reduceLenCheck panics with the collective's name when a received
+// contribution does not match the accumulator length.
+func reduceLenCheck(what string, got, want int) {
+	if got != want {
+		panic(fmt.Sprintf("mpi: %s length mismatch: %d vs %d", what, got, want))
+	}
+}
+
+// collRecvInto receives from src and copies the payload into dst, which
+// must match its length; the received buffer is recycled, not retained.
+func (c *Comm) collRecvInto(src, tag int, dst []byte, what string) {
+	t0 := c.p.clock.Now()
+	e := c.p.mbox.get(c.sel(src, tag), c.collWatch())
+	c.consumeWith(e, t0, func(in []byte) {
+		reduceLenCheck(what, len(in), len(dst))
+		copy(dst, in)
+	})
+}
+
+// collSendrecvInto sends out to dst and receives from src into in; out
+// and in may be disjoint chunks of the same backing array (the outgoing
+// payload is captured before the receive completes).
+func (c *Comm) collSendrecvInto(dst, sendTag int, out []byte, src, recvTag int, in []byte, what string) {
+	sreq := c.Isend(dst, sendTag, out)
+	c.collRecvInto(src, recvTag, in, what)
+	sreq.Wait()
+}
+
+// binomialParent returns the communicator rank of vrank's parent in the
+// binomial tree rooted (as virtual rank 0) at root, and the mask at which
+// vrank attaches — or (-1, top mask) for the root itself.
+func (c *Comm) binomialParent(root, vrank int) (parent, mask int) {
+	n := c.Size()
+	mask = 1
+	for mask < n {
+		if vrank&mask != 0 {
+			return (c.rank - mask + n) % n, mask
+		}
+		mask <<= 1
+	}
+	return -1, mask
+}
+
+// --- Allreduce ----------------------------------------------------------
+
+// allreduceRecDbl is the recursive-doubling Allreduce: non-power-of-two
+// remainders first fold into a neighbour, then the surviving power-of-two
+// set exchanges full vectors along hypercube dimensions, and finally the
+// folded ranks get the result back. log2(n) rounds of full-vector
+// exchange: latency-optimal, bandwidth-hungry.
+func (c *Comm) allreduceRecDbl(data []byte, op Op) []byte {
+	n := c.Size()
+	rank := c.rank
+	acc := append([]byte(nil), data...)
+	pof2 := 1
+	for pof2*2 <= n {
+		pof2 *= 2
+	}
+	rem := n - pof2
+	// Fold the first 2*rem ranks pairwise: evens hand their vector to the
+	// odd neighbour and sit out the doubling.
+	newrank := -1
+	switch {
+	case rank < 2*rem && rank%2 == 0:
+		c.Send(rank+1, tagAllreduce, acc)
+	case rank < 2*rem:
+		c.collReduceRecv(rank-1, tagAllreduce, acc, op, "Allreduce")
+		newrank = rank / 2
+	default:
+		newrank = rank - rem
+	}
+	if newrank >= 0 {
+		for mask := 1; mask < pof2; mask <<= 1 {
+			pn := newrank ^ mask
+			partner := pn + rem
+			if pn < rem {
+				partner = 2*pn + 1
+			}
+			c.collSendrecvReduce(partner, tagAllreduce, acc, partner, tagAllreduce, acc, op, "Allreduce")
+		}
+	}
+	// Hand the result back to the folded evens.
+	if rank < 2*rem {
+		if rank%2 == 0 {
+			acc = c.collRecv(rank+1, tagAllreduce)
+		} else {
+			c.Send(rank-1, tagAllreduce, acc)
+		}
+	}
+	return acc
+}
+
+// ringChunk returns the byte bounds of ring chunk i (mod n): the vector
+// is cut into n near-equal runs of whole elements, so reduction operators
+// never see a partial element.
+func ringChunk(i, n, nbytes, elemSize int) (lo, hi int) {
+	i = ((i % n) + n) % n
+	elems := nbytes / elemSize
+	return i * elems / n * elemSize, (i + 1) * elems / n * elemSize
+}
+
+// allreduceRing is the Rabenseifner-style ring Allreduce: a
+// reduce-scatter ring (n-1 steps, each rank folds one travelling chunk)
+// followed by an allgather ring (n-1 steps distributing the reduced
+// chunks). Each rank transfers 2(n-1)/n of the vector in total —
+// bandwidth-optimal for large messages — at the price of 2(n-1) message
+// latencies.
+func (c *Comm) allreduceRing(data []byte, op Op) []byte {
+	n := c.Size()
+	es := c.coll().elemSize()
+	if len(data)%es != 0 {
+		panic(fmt.Sprintf("mpi: ring Allreduce needs a payload divisible by the %d-byte element size, got %d bytes", es, len(data)))
+	}
+	rank := c.rank
+	acc := append([]byte(nil), data...)
+	right := (rank + 1) % n
+	left := (rank - 1 + n) % n
+	// Reduce-scatter phase: after step s, the chunk received this step
+	// holds the fold of s+2 contributions; after n-1 steps rank owns the
+	// fully reduced chunk (rank+1) mod n.
+	for step := 0; step < n-1; step++ {
+		slo, shi := ringChunk(rank-step, n, len(acc), es)
+		rlo, rhi := ringChunk(rank-step-1, n, len(acc), es)
+		c.collSendrecvReduce(right, tagAllreduce, acc[slo:shi], left, tagAllreduce, acc[rlo:rhi], op, "Allreduce")
+	}
+	// Allgather phase: circulate the reduced chunks.
+	for step := 0; step < n-1; step++ {
+		slo, shi := ringChunk(rank+1-step, n, len(acc), es)
+		rlo, rhi := ringChunk(rank-step, n, len(acc), es)
+		c.collSendrecvInto(right, tagAllreduce, acc[slo:shi], left, tagAllreduce, acc[rlo:rhi], "Allreduce")
+	}
+	return acc
+}
+
+// --- Bcast --------------------------------------------------------------
+
+// bcastHeader distributes (alg, length) from the root down the binomial
+// tree and returns the values on every rank. Only the root knows the
+// payload length, so size-aware selection needs this one extra 9-byte
+// message per tree edge.
+func (c *Comm) bcastHeader(root int, alg BcastAlg, length int) (BcastAlg, int) {
+	n := c.Size()
+	vrank := (c.rank - root + n) % n
+	parent, mask := c.binomialParent(root, vrank)
+	var hdr []byte
+	if parent < 0 {
+		hdr = make([]byte, 9)
+		hdr[0] = byte(alg)
+		binary.LittleEndian.PutUint64(hdr[1:], uint64(length))
+	} else {
+		hdr = c.collRecv(parent, tagBcastHdr)
+		alg = BcastAlg(hdr[0])
+		length = int(binary.LittleEndian.Uint64(hdr[1:]))
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if vrank+mask < n {
+			c.Send((c.rank+mask)%n, tagBcastHdr, hdr)
+		}
+	}
+	return alg, length
+}
+
+// bcastSegmented pipelines the payload down the binomial tree in SegSize
+// segments: an interior rank forwards segment k while its parent is still
+// transmitting segment k+1, so the tree's depth costs one segment, not
+// one whole payload, per level. knownLen is the payload length when the
+// caller already negotiated it (BcastAuto); pass -1 to have this function
+// distribute it.
+func (c *Comm) bcastSegmented(root int, data []byte, knownLen int) []byte {
+	n := c.Size()
+	length := knownLen
+	if length < 0 {
+		_, length = c.bcastHeader(root, BcastSegmented, len(data))
+	}
+	vrank := (c.rank - root + n) % n
+	parent, mask := c.binomialParent(root, vrank)
+	buf := data
+	if parent >= 0 {
+		buf = make([]byte, length)
+	}
+	seg := c.coll().segSize()
+	topMask := mask >> 1
+	for lo := 0; lo < length; lo += seg {
+		hi := lo + seg
+		if hi > length {
+			hi = length
+		}
+		if parent >= 0 {
+			c.collRecvInto(parent, tagBcast, buf[lo:hi], "Bcast")
+		}
+		for m := topMask; m > 0; m >>= 1 {
+			if vrank+m < n {
+				c.Send((c.rank+m)%n, tagBcast, buf[lo:hi])
+			}
+		}
+	}
+	return buf
+}
+
+// bcastAuto: the root picks by payload size; the choice and the length
+// travel down the tree in a header, then the chosen algorithm runs with
+// the length pre-negotiated.
+func (c *Comm) bcastAuto(root int, data []byte) []byte {
+	alg := BcastBinomial
+	if c.rank == root {
+		alg = c.coll().bcastAlg(len(data))
+	}
+	alg, length := c.bcastHeader(root, alg, len(data))
+	if alg == BcastSegmented {
+		return c.bcastSegmented(root, data, length)
+	}
+	return c.bcastBinomial(root, data)
+}
+
+// --- ReduceScatter ------------------------------------------------------
+
+// reduceScatterValidate asserts that every member passed the same
+// per-destination size vector. All members exchange their vectors and run
+// the same comparison, so on a mismatch every rank panics with the same
+// message instead of one rank tripping over a confusing Reduce error
+// while the others hang.
+func (c *Comm) reduceScatterValidate(parts [][]byte) {
+	n := c.Size()
+	mine := make([]byte, 8*n)
+	for r, p := range parts {
+		binary.LittleEndian.PutUint64(mine[8*r:], uint64(len(p)))
+	}
+	all := c.Allgather(mine)
+	for m := 1; m < n; m++ {
+		for r := 0; r < n; r++ {
+			got := int(binary.LittleEndian.Uint64(all[m][8*r:]))
+			want := int(binary.LittleEndian.Uint64(all[0][8*r:]))
+			if got != want {
+				panic(fmt.Sprintf("mpi: ReduceScatter size mismatch: member %d passed %d bytes for destination %d but member 0 passed %d; per-destination sizes must agree across members", m, got, r, want))
+			}
+		}
+	}
+}
+
+// reduceScatterPairwise: n-1 pairwise exchange steps. At step s, each
+// rank sends its contribution destined for rank+s and folds the
+// contribution arriving from rank-s into its own block — no rank ever
+// holds more than one block, and nothing concatenates through rank 0.
+func (c *Comm) reduceScatterPairwise(parts [][]byte, op Op) []byte {
+	n := c.Size()
+	rank := c.rank
+	acc := append([]byte(nil), parts[rank]...)
+	for step := 1; step < n; step++ {
+		dst := (rank + step) % n
+		src := (rank - step + n) % n
+		sreq := c.Isend(dst, tagReduceScatter, parts[dst])
+		c.collReduceRecv(src, tagReduceScatter, acc, op, "ReduceScatter")
+		sreq.Wait()
+	}
+	return acc
+}
+
+// --- Gather / Scatter ---------------------------------------------------
+
+// gatherFlat: every member sends directly to the root. The root drains
+// with AnySource — taking messages in arrival order, so one slow child
+// does not block the matching of the others — but collects raw envelopes
+// first and applies the receive timing folds in strict rank order, which
+// keeps the simulated times bit-identical to the historical rank-ordered
+// drain (the folds commute with collection order: each one is
+// max-with-arrival plus a constant overhead) and deterministic across
+// transports. The output stays rank-indexed.
+func (c *Comm) gatherFlat(root int, data []byte) [][]byte {
+	n := c.Size()
+	if c.rank != root {
+		c.Send(root, tagGather, data)
+		return nil
+	}
+	out := make([][]byte, n)
+	out[root] = append([]byte(nil), data...)
+	if n == 1 {
+		return out
+	}
+	envs := make([]*envelope, n)
+	pending := make([]int, 0, n-1)
+	for r := 0; r < n; r++ {
+		if r != root {
+			pending = append(pending, c.s.members[r])
+		}
+	}
+	for len(pending) > 0 {
+		e := c.collGetAny(pending, tagGather)
+		envs[c.s.rankOf(e.src)] = e
+		for i, w := range pending {
+			if w == e.src {
+				pending = append(pending[:i], pending[i+1:]...)
+				break
+			}
+		}
+	}
+	t0 := c.p.clock.Now()
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		out[r], _ = c.consume(envs[r], t0)
+	}
+	return out
+}
+
+// Bundles carry several (rank, payload) pairs in one message for the
+// binomial gather/scatter trees. Format: per entry a uint32 rank, a
+// uint32 length, then the bytes.
+func bundleAppend(buf []byte, rank int, data []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(rank))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(data)))
+	buf = append(buf, hdr[:]...)
+	return append(buf, data...)
+}
+
+// bundleEach calls fn for every entry of a bundle. The payload slice
+// aliases buf.
+func bundleEach(buf []byte, fn func(rank int, data []byte)) {
+	for len(buf) > 0 {
+		rank := int(binary.LittleEndian.Uint32(buf[0:]))
+		size := int(binary.LittleEndian.Uint32(buf[4:]))
+		fn(rank, buf[8:8+size])
+		buf = buf[8+size:]
+	}
+}
+
+// gatherBinomial combines contributions up a binomial tree: each interior
+// rank bundles its subtree's payloads and sends one message to its
+// parent, so the root absorbs log2(n) messages instead of n-1. Sizes may
+// differ per member (the bundle frames each payload). With GatherAuto,
+// selection keys on the local payload size, so members must pass
+// agreed-size payloads — pick the algorithm explicitly for irregular
+// gathers.
+func (c *Comm) gatherBinomial(root int, data []byte) [][]byte {
+	n := c.Size()
+	vrank := (c.rank - root + n) % n
+	bundle := bundleAppend(nil, c.rank, data)
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			parent := ((vrank &^ mask) + root) % n
+			c.SendOwned(parent, tagGather, bundle)
+			return nil
+		}
+		child := vrank | mask
+		if child < n {
+			c.consumeWith(c.p.mbox.get(c.sel((child+root)%n, tagGather), c.collWatch()), c.p.clock.Now(), func(in []byte) {
+				bundle = append(bundle, in...)
+			})
+		}
+		mask <<= 1
+	}
+	out := make([][]byte, n)
+	bundleEach(bundle, func(rank int, d []byte) {
+		out[rank] = append([]byte(nil), d...)
+	})
+	return out
+}
+
+// scatterHeader distributes the root's algorithm choice down the binomial
+// tree (non-roots cannot resolve ScatterAuto locally: only the root sees
+// the part sizes).
+func (c *Comm) scatterHeader(root int, alg ScatterAlg) ScatterAlg {
+	n := c.Size()
+	vrank := (c.rank - root + n) % n
+	parent, mask := c.binomialParent(root, vrank)
+	if parent >= 0 {
+		hdr := c.collRecv(parent, tagScatterHdr)
+		alg = ScatterAlg(hdr[0])
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if vrank+mask < n {
+			c.Send((c.rank+mask)%n, tagScatterHdr, []byte{byte(alg)})
+		}
+	}
+	return alg
+}
+
+// scatterBinomial sends bundles of parts down a binomial tree: the root
+// hands each top-level child the bundle for its whole subtree and
+// interior ranks split their bundle onward, so the root serialises
+// log2(n) transfers instead of n-1 (it still ships every byte once; the
+// win is in per-message overhead and in moving the fan-out off the root's
+// interface).
+func (c *Comm) scatterBinomial(root int, parts [][]byte) []byte {
+	n := c.Size()
+	vrank := (c.rank - root + n) % n
+	// byVrank[v] is the part for virtual rank v of the subtree this rank
+	// is responsible for; only [vrank, vrank+topMask) is populated.
+	byVrank := make([][]byte, n)
+	var mine []byte
+	parent, mask := c.binomialParent(root, vrank)
+	if parent < 0 {
+		if len(parts) != n {
+			panic(fmt.Sprintf("mpi: Scatter needs %d parts, got %d", n, len(parts)))
+		}
+		for r, p := range parts {
+			byVrank[(r-root+n)%n] = p
+		}
+		mine = append([]byte(nil), parts[root]...)
+	} else {
+		c.consumeWith(c.p.mbox.get(c.sel(parent, tagScatter), c.collWatch()), c.p.clock.Now(), func(in []byte) {
+			bundleEach(in, func(v int, d []byte) {
+				if v == vrank {
+					mine = append([]byte(nil), d...)
+				} else {
+					byVrank[v] = append([]byte(nil), d...)
+				}
+			})
+		})
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		child := vrank + mask
+		if child >= n {
+			continue
+		}
+		hi := child + mask
+		if hi > n {
+			hi = n
+		}
+		var bundle []byte
+		for v := child; v < hi; v++ {
+			bundle = bundleAppend(bundle, v, byVrank[v])
+			byVrank[v] = nil
+		}
+		c.SendOwned((c.rank+mask)%n, tagScatter, bundle)
+	}
+	return mine
+}

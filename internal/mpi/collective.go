@@ -3,12 +3,14 @@ package mpi
 import "fmt"
 
 // Collective operations. All members of the communicator must call the
-// same collective in the same order. The implementations use the classic
-// algorithms of early-2000s MPI libraries, so the simulated cost of a
-// collective reflects its communication structure: binomial trees for
-// broadcast and reduce, flat trees for gather and scatter (the switched
-// Ethernet of the paper's testbed serialises a root's transfers anyway),
-// a ring for allgather and pairwise exchange for alltoall.
+// same collective in the same order. Each collective with more than one
+// algorithm dispatches through the communicator's CollTuning (see
+// colltuning.go); the default policy selects the classic algorithms of
+// early-2000s MPI libraries — binomial trees for broadcast and reduce,
+// flat trees for gather and scatter, a ring for allgather and pairwise
+// exchange for alltoall — so the simulated cost of a collective reflects
+// its communication structure. The alternative algorithms live in
+// collalg.go.
 
 // Internal tags; user tags are non-negative, so the collective tags cannot
 // collide with point-to-point traffic on the same communicator.
@@ -21,6 +23,10 @@ const (
 	tagAllgather
 	tagAlltoall
 	tagScan
+	tagAllreduce
+	tagReduceScatter
+	tagBcastHdr
+	tagScatterHdr
 )
 
 // Barrier blocks until all members have entered it (dissemination
@@ -39,15 +45,30 @@ func (c *Comm) Barrier() {
 	}
 }
 
-// Bcast broadcasts root's data to all members along a binomial tree and
-// returns the received slice (root returns data unchanged).
+// Bcast broadcasts root's data to all members and returns the received
+// slice (root returns data unchanged). The algorithm comes from the
+// communicator's CollTuning: plain binomial by default, a segmented
+// pipeline for large payloads when selected.
 func (c *Comm) Bcast(root int, data []byte) []byte {
 	c.checkRank("Bcast", root)
-	n := c.Size()
-	if n == 1 {
+	if c.Size() == 1 {
 		return data
 	}
 	c.collCheck()
+	switch c.coll().Bcast {
+	case BcastSegmented:
+		return c.bcastSegmented(root, data, -1)
+	case BcastAuto:
+		return c.bcastAuto(root, data)
+	default:
+		return c.bcastBinomial(root, data)
+	}
+}
+
+// bcastBinomial is the legacy broadcast: the whole payload travels a
+// binomial tree.
+func (c *Comm) bcastBinomial(root int, data []byte) []byte {
+	n := c.Size()
 	// Rotate ranks so the root is virtual rank 0, then walk the binomial
 	// tree: receive from the parent (vrank with its lowest set bit
 	// cleared), then forward to each child vrank+mask for descending
@@ -97,57 +118,91 @@ func (c *Comm) Reduce(root int, data []byte, op Op) []byte {
 		}
 		child := vrank | mask
 		if child < n {
-			in := c.collRecv((child+root)%n, tagReduce)
-			if len(in) != len(acc) {
-				panic(fmt.Sprintf("mpi: Reduce length mismatch: %d vs %d", len(in), len(acc)))
-			}
-			op(acc, in)
+			c.collReduceRecv((child+root)%n, tagReduce, acc, op, "Reduce")
 		}
 		mask <<= 1
 	}
 	return acc
 }
 
-// Allreduce combines every member's data with op and returns the result on
-// all members (reduce to rank 0, then broadcast).
+// Allreduce combines every member's data with op and returns the result
+// on all members. The algorithm comes from the communicator's
+// CollTuning: reduce-to-0-then-broadcast by default, recursive doubling
+// or a bandwidth-optimal ring when selected. All members must pass
+// equal-length data.
 func (c *Comm) Allreduce(data []byte, op Op) []byte {
-	res := c.Reduce(0, data, op)
-	return c.Bcast(0, res)
+	n := c.Size()
+	switch c.coll().allreduceAlg(n, len(data)) {
+	case AllreduceRecursiveDoubling:
+		if n == 1 {
+			return append([]byte(nil), data...)
+		}
+		c.collCheck()
+		return c.allreduceRecDbl(data, op)
+	case AllreduceRing:
+		if n == 1 {
+			return append([]byte(nil), data...)
+		}
+		c.collCheck()
+		return c.allreduceRing(data, op)
+	default:
+		return c.Bcast(0, c.Reduce(0, data, op))
+	}
 }
 
 // Gather collects every member's data on root, which receives the
 // concatenation indexed by rank; other members return nil. Contributions
-// may have different sizes (this therefore also covers MPI_Gatherv).
+// may have different sizes (this therefore also covers MPI_Gatherv). The
+// algorithm comes from the communicator's CollTuning: a flat fan into the
+// root by default, a binomial combining tree when selected (GatherAuto
+// keys the choice on the local payload size, so it requires agreed
+// sizes).
 func (c *Comm) Gather(root int, data []byte) [][]byte {
 	c.checkRank("Gather", root)
 	if c.Size() > 1 {
 		c.collCheck()
 	}
-	if c.rank != root {
-		c.Send(root, tagGather, data)
-		return nil
+	if c.coll().gatherAlg(c.Size(), len(data)) == GatherBinomial && c.Size() > 1 {
+		return c.gatherBinomial(root, data)
 	}
-	out := make([][]byte, c.Size())
-	out[root] = append([]byte(nil), data...)
-	// Receive in rank order for determinism; messages may arrive in any
-	// order, matching handles it.
-	for r := 0; r < c.Size(); r++ {
-		if r == root {
-			continue
-		}
-		out[r] = c.collRecv(r, tagGather)
-	}
-	return out
+	return c.gatherFlat(root, data)
 }
 
 // Scatter distributes parts[r] from root to each member r and returns the
 // local part. Only root's parts argument is consulted; it must have one
-// entry per member (different sizes allowed, covering MPI_Scatterv).
+// entry per member (different sizes allowed, covering MPI_Scatterv). The
+// algorithm comes from the communicator's CollTuning: a flat fan out of
+// the root by default, a binomial bundle tree when selected.
 func (c *Comm) Scatter(root int, parts [][]byte) []byte {
 	c.checkRank("Scatter", root)
-	if c.Size() > 1 {
+	n := c.Size()
+	if n > 1 {
 		c.collCheck()
 	}
+	alg := c.coll().Scatter
+	if alg == ScatterAuto && n > 1 {
+		// Only the root sees the part sizes; its resolution travels down
+		// a binomial header tree.
+		resolved := ScatterFlat
+		if c.rank == root {
+			maxPart := 0
+			for _, p := range parts {
+				if len(p) > maxPart {
+					maxPart = len(p)
+				}
+			}
+			resolved = c.coll().scatterAlg(n, maxPart)
+		}
+		alg = c.scatterHeader(root, resolved)
+	}
+	if alg == ScatterBinomial && n > 1 {
+		return c.scatterBinomial(root, parts)
+	}
+	return c.scatterFlat(root, parts)
+}
+
+// scatterFlat is the legacy scatter: the root sends each part directly.
+func (c *Comm) scatterFlat(root int, parts [][]byte) []byte {
 	if c.rank == root {
 		if len(parts) != c.Size() {
 			panic(fmt.Sprintf("mpi: Scatter needs %d parts, got %d", c.Size(), len(parts)))
@@ -215,9 +270,7 @@ func (c *Comm) Scan(data []byte, op Op) []byte {
 	}
 	if c.rank > 0 {
 		in := c.collRecv(c.rank-1, tagScan)
-		if len(in) != len(acc) {
-			panic(fmt.Sprintf("mpi: Scan length mismatch: %d vs %d", len(in), len(acc)))
-		}
+		reduceLenCheck("Scan", len(in), len(acc))
 		prev := append([]byte(nil), in...)
 		op(prev, acc)
 		acc = prev
@@ -252,12 +305,22 @@ func (c *Comm) Exscan(data []byte, op Op) []byte {
 
 // ReduceScatter combines every member's parts element-wise with op and
 // scatters the result: member r returns the reduction of everyone's
-// parts[r] (MPI_Reduce_scatter, implemented as reduce-then-scatter). parts
-// must have one entry per member, with sizes agreed across members.
+// parts[r] (MPI_Reduce_scatter). parts must have one entry per member,
+// with sizes agreed across members — the sizes are validated up front so
+// a disagreement panics on every rank with a clear message. The algorithm
+// comes from the communicator's CollTuning: reduce-then-scatter through
+// rank 0 by default, pairwise exchange when selected.
 func (c *Comm) ReduceScatter(parts [][]byte, op Op) []byte {
 	n := c.Size()
 	if len(parts) != n {
 		panic(fmt.Sprintf("mpi: ReduceScatter needs %d parts, got %d", n, len(parts)))
+	}
+	if n > 1 {
+		c.collCheck()
+		c.reduceScatterValidate(parts)
+		if c.coll().reduceScatterAlg() == ReduceScatterPairwise {
+			return c.reduceScatterPairwise(parts, op)
+		}
 	}
 	// Reduce the concatenation on rank 0, then scatter the slices.
 	sizes := make([]int, n)

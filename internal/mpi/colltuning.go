@@ -1,0 +1,274 @@
+package mpi
+
+// Collective algorithm selection. Every collective with more than one
+// implementation consults its communicator's CollTuning to pick one; the
+// zero value of every algorithm field is the legacy algorithm, so a nil
+// or zero tuning reproduces the library's historical behaviour (and its
+// simulated times) bit for bit. The Auto constants enable size- and
+// communicator-aware selection in the style of MPICH-G2's
+// topology/size-tiered collectives: small messages keep latency-optimal
+// trees, large messages switch to bandwidth-optimal rings and pipelines.
+//
+// Selection is policy, not negotiation: every member of a communicator
+// must run the same CollTuning (collectives must agree on the
+// communication pattern or they deadlock). Tuning is inherited — World ->
+// CommWorld -> Dup/Split/Create/Shrink — so installing a policy once on
+// the world before Run covers every communicator derived later.
+
+// AllreduceAlg selects the Allreduce implementation.
+type AllreduceAlg int
+
+const (
+	// AllreduceRedBcast is the legacy algorithm: binomial reduce to rank
+	// 0, then binomial broadcast.
+	AllreduceRedBcast AllreduceAlg = iota
+	// AllreduceRecursiveDoubling exchanges full vectors along hypercube
+	// dimensions: log2(n) rounds, latency-optimal for small messages.
+	AllreduceRecursiveDoubling
+	// AllreduceRing is the Rabenseifner-style ring: a reduce-scatter ring
+	// followed by an allgather ring. Each rank moves 2(n-1)/n of the
+	// vector instead of the full vector log(n) times: bandwidth-optimal
+	// for large messages. Requires len(data) divisible by ElemSize.
+	AllreduceRing
+	// AllreduceAuto picks recursive doubling below AllreduceRingMinBytes
+	// and the ring at or above it (falling back when the length is not
+	// ElemSize-aligned).
+	AllreduceAuto
+)
+
+// ReduceScatterAlg selects the ReduceScatter implementation.
+type ReduceScatterAlg int
+
+const (
+	// ReduceScatterViaRoot is the legacy algorithm: concatenate, reduce
+	// to rank 0, scatter the slices.
+	ReduceScatterViaRoot ReduceScatterAlg = iota
+	// ReduceScatterPairwise runs n-1 pairwise exchange steps in which
+	// each rank only ever sends the block destined for its peer — nothing
+	// is concatenated through rank 0.
+	ReduceScatterPairwise
+	// ReduceScatterAuto currently always picks pairwise (it dominates the
+	// via-root algorithm at every size on a switched network).
+	ReduceScatterAuto
+)
+
+// BcastAlg selects the Bcast implementation.
+type BcastAlg int
+
+const (
+	// BcastBinomial is the legacy algorithm: the whole payload travels a
+	// binomial tree.
+	BcastBinomial BcastAlg = iota
+	// BcastSegmented pipelines the payload through the binomial tree in
+	// SegSize segments, so an interior rank forwards segment k while
+	// segment k+1 is still in flight to it.
+	BcastSegmented
+	// BcastAuto lets the root pick by payload size (segmented at or above
+	// BcastSegMinBytes) and distribute the choice in a small header down
+	// the tree, since only the root knows the payload length.
+	BcastAuto
+)
+
+// GatherAlg selects the Gather implementation.
+type GatherAlg int
+
+const (
+	// GatherFlat is the legacy algorithm: every member sends directly to
+	// the root.
+	GatherFlat GatherAlg = iota
+	// GatherBinomial combines contributions up a binomial tree, so the
+	// root absorbs log2(n) messages instead of n-1 — a win when
+	// per-message overhead dominates (small payloads, larger groups).
+	GatherBinomial
+	// GatherAuto picks the binomial tree when the communicator has at
+	// least TreeMinRanks members and the local payload is at most
+	// TreeMaxBytes; the flat tree otherwise.
+	GatherAuto
+)
+
+// ScatterAlg selects the Scatter implementation.
+type ScatterAlg int
+
+const (
+	// ScatterFlat is the legacy algorithm: the root sends each part
+	// directly to its member.
+	ScatterFlat ScatterAlg = iota
+	// ScatterBinomial sends bundles of parts down a binomial tree;
+	// interior ranks split their bundle onward.
+	ScatterBinomial
+	// ScatterAuto mirrors GatherAuto: binomial for small parts on larger
+	// communicators, flat otherwise.
+	ScatterAuto
+)
+
+// CollTuning is the per-communicator collective algorithm policy. The
+// zero value selects the legacy algorithm everywhere with the default
+// thresholds, so Comm handles without an explicit policy behave exactly
+// as before this engine existed.
+type CollTuning struct {
+	Allreduce     AllreduceAlg
+	ReduceScatter ReduceScatterAlg
+	Bcast         BcastAlg
+	Gather        GatherAlg
+	Scatter       ScatterAlg
+
+	// AllreduceRingMinBytes is the payload size at which AllreduceAuto
+	// switches from recursive doubling to the ring. Zero means the
+	// default (32 KiB).
+	AllreduceRingMinBytes int
+	// BcastSegMinBytes is the payload size at which BcastAuto switches
+	// from plain binomial to the segmented pipeline. Zero means the
+	// default (64 KiB).
+	BcastSegMinBytes int
+	// SegSize is the segment size of the pipelined broadcast. Zero means
+	// the default (16 KiB).
+	SegSize int
+	// TreeMinRanks is the smallest communicator for which GatherAuto and
+	// ScatterAuto pick the binomial tree. Zero means the default (8).
+	TreeMinRanks int
+	// TreeMaxBytes is the largest per-member payload for which
+	// GatherAuto and ScatterAuto pick the binomial tree (above it the
+	// tree moves asymptotically more bytes than the flat fan). Zero
+	// means the default (1 KiB).
+	TreeMaxBytes int
+	// ElemSize is the reduction element width in bytes: splitting
+	// algorithms (the ring) cut the vector only on multiples of it. Zero
+	// means the default (8, the width of every Op in this library).
+	ElemSize int
+}
+
+// Default thresholds; see the CollTuning field docs.
+const (
+	defaultAllreduceRingMinBytes = 32 << 10
+	defaultBcastSegMinBytes      = 64 << 10
+	defaultSegSize               = 16 << 10
+	defaultTreeMinRanks          = 8
+	defaultTreeMaxBytes          = 1 << 10
+	defaultElemSize              = 8
+)
+
+// defaultCollTuning is the policy of communicators with no explicit one.
+var defaultCollTuning = CollTuning{}
+
+// DefaultCollTuning returns the default policy: legacy algorithms
+// everywhere, default thresholds.
+func DefaultCollTuning() *CollTuning { return &CollTuning{} }
+
+// AutoCollTuning returns a policy with size-aware selection enabled for
+// every collective, at the default thresholds.
+func AutoCollTuning() *CollTuning {
+	return &CollTuning{
+		Allreduce:     AllreduceAuto,
+		ReduceScatter: ReduceScatterAuto,
+		Bcast:         BcastAuto,
+		Gather:        GatherAuto,
+		Scatter:       ScatterAuto,
+	}
+}
+
+// coll returns the tuning in effect for this communicator.
+func (c *Comm) coll() *CollTuning {
+	if c.tuning != nil {
+		return c.tuning
+	}
+	return &defaultCollTuning
+}
+
+func (t *CollTuning) allreduceRingMinBytes() int {
+	if t.AllreduceRingMinBytes > 0 {
+		return t.AllreduceRingMinBytes
+	}
+	return defaultAllreduceRingMinBytes
+}
+
+func (t *CollTuning) bcastSegMinBytes() int {
+	if t.BcastSegMinBytes > 0 {
+		return t.BcastSegMinBytes
+	}
+	return defaultBcastSegMinBytes
+}
+
+func (t *CollTuning) segSize() int {
+	if t.SegSize > 0 {
+		return t.SegSize
+	}
+	return defaultSegSize
+}
+
+func (t *CollTuning) treeMinRanks() int {
+	if t.TreeMinRanks > 0 {
+		return t.TreeMinRanks
+	}
+	return defaultTreeMinRanks
+}
+
+func (t *CollTuning) treeMaxBytes() int {
+	if t.TreeMaxBytes > 0 {
+		return t.TreeMaxBytes
+	}
+	return defaultTreeMaxBytes
+}
+
+func (t *CollTuning) elemSize() int {
+	if t.ElemSize > 0 {
+		return t.ElemSize
+	}
+	return defaultElemSize
+}
+
+// allreduceAlg resolves Auto for an n-member Allreduce of nbytes. All
+// members know nbytes (Allreduce requires agreed lengths), so the
+// resolution is consistent without negotiation.
+func (t *CollTuning) allreduceAlg(n, nbytes int) AllreduceAlg {
+	if t.Allreduce != AllreduceAuto {
+		return t.Allreduce
+	}
+	if nbytes >= t.allreduceRingMinBytes() && nbytes%t.elemSize() == 0 && n > 2 {
+		return AllreduceRing
+	}
+	return AllreduceRecursiveDoubling
+}
+
+// reduceScatterAlg resolves Auto for ReduceScatter.
+func (t *CollTuning) reduceScatterAlg() ReduceScatterAlg {
+	if t.ReduceScatter == ReduceScatterAuto {
+		return ReduceScatterPairwise
+	}
+	return t.ReduceScatter
+}
+
+// bcastAlg resolves Auto at the root, which is the only rank that knows
+// nbytes; the choice travels to the other ranks in a header.
+func (t *CollTuning) bcastAlg(nbytes int) BcastAlg {
+	if t.Bcast != BcastAuto {
+		return t.Bcast
+	}
+	if nbytes >= t.bcastSegMinBytes() {
+		return BcastSegmented
+	}
+	return BcastBinomial
+}
+
+// gatherAlg resolves Auto for an n-member Gather of nbytes per member.
+func (t *CollTuning) gatherAlg(n, nbytes int) GatherAlg {
+	if t.Gather != GatherAuto {
+		return t.Gather
+	}
+	if n >= t.treeMinRanks() && nbytes <= t.treeMaxBytes() {
+		return GatherBinomial
+	}
+	return GatherFlat
+}
+
+// scatterAlg resolves Auto for Scatter; only the root consults it, and
+// the choice travels to the other ranks in a header (part sizes may be
+// irregular, so non-roots cannot resolve it locally).
+func (t *CollTuning) scatterAlg(n, maxPart int) ScatterAlg {
+	if t.Scatter != ScatterAuto {
+		return t.Scatter
+	}
+	if n >= t.treeMinRanks() && maxPart <= t.treeMaxBytes() {
+		return ScatterBinomial
+	}
+	return ScatterFlat
+}

@@ -37,8 +37,22 @@ type Comm struct {
 	rank  int // this process's rank within the communicator
 	group *Group
 
+	// tuning selects the collective algorithms this communicator uses
+	// (nil means DefaultCollTuning). Inherited by derived communicators.
+	tuning *CollTuning
+
 	deriveSeq int64 // per-process count of collective comm constructors
 	agreeSeq  int64 // per-process count of AgreeFailed calls (ft.go)
+}
+
+// SetCollTuning overrides the collective algorithm policy for this
+// communicator handle and everything later derived from it. Every member
+// of the communicator must install the same policy (collectives must
+// agree on their communication pattern). Passing nil restores the
+// default. Returns the communicator for chaining.
+func (c *Comm) SetCollTuning(t *CollTuning) *Comm {
+	c.tuning = t
+	return c
 }
 
 // Rank returns the calling process's rank in the communicator.
@@ -77,9 +91,10 @@ func (c *Comm) nextContext() int64 {
 func (c *Comm) Dup() *Comm {
 	id := c.nextContext()
 	return &Comm{
-		p:    c.p,
-		s:    &commShared{id: id, members: append([]int(nil), c.s.members...)},
-		rank: c.rank,
+		p:      c.p,
+		s:      &commShared{id: id, members: append([]int(nil), c.s.members...)},
+		rank:   c.rank,
+		tuning: c.tuning,
 	}
 }
 
@@ -148,9 +163,10 @@ func (c *Comm) Split(color, key int) *Comm {
 	// enough for any number of colors.
 	subID := id + int64(colorIdx)
 	return &Comm{
-		p:    c.p,
-		s:    &commShared{id: subID, members: worldRanks},
-		rank: myRank,
+		p:      c.p,
+		s:      &commShared{id: subID, members: worldRanks},
+		rank:   myRank,
+		tuning: c.tuning,
 	}
 }
 
@@ -172,9 +188,10 @@ func (c *Comm) Create(group *Group) *Comm {
 		return nil
 	}
 	return &Comm{
-		p:    c.p,
-		s:    &commShared{id: id, members: group.Ranks()},
-		rank: myRank,
+		p:      c.p,
+		s:      &commShared{id: id, members: group.Ranks()},
+		rank:   myRank,
+		tuning: c.tuning,
 	}
 }
 
@@ -200,8 +217,9 @@ func NewCommFromGroup(p *Proc, group *Group, key int64) *Comm {
 		return nil
 	}
 	return &Comm{
-		p:    p,
-		s:    &commShared{id: id, members: group.Ranks()},
-		rank: rank,
+		p:      p,
+		s:      &commShared{id: id, members: group.Ranks()},
+		rank:   rank,
+		tuning: p.world.collTuning,
 	}
 }

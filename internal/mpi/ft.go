@@ -138,9 +138,10 @@ func (c *Comm) Shrink() *Comm {
 		members = append(members, r)
 	}
 	return &Comm{
-		p:    c.p,
-		s:    &commShared{id: id, members: members},
-		rank: myRank,
+		p:      c.p,
+		s:      &commShared{id: id, members: members},
+		rank:   myRank,
+		tuning: c.tuning,
 	}
 }
 

@@ -21,48 +21,117 @@ type envelope struct {
 	data   []byte
 	arrive vclock.Time // virtual time the last byte reaches the receiver
 	seq    int64       // per-sender sequence, for deterministic tie-breaks
+	order  int64       // mailbox enqueue order; earliest queued wins wildcards
+	pbuf   *poolBuf    // non-nil when data is pool-backed (copy-on-retain)
+}
+
+// mbKey indexes a mailbox bucket: every queued message lives in the FIFO
+// of its (communicator context, sender) pair.
+type mbKey struct {
+	ctx int64
+	src int // world rank of the sender
+}
+
+// recvSel describes what a receive or probe accepts: one context, a
+// single source (world rank) or a candidate set, and a tag or AnyTag.
+type recvSel struct {
+	ctx  int64
+	src  int   // world rank, or AnySource
+	tag  int   // or AnyTag
+	srcs []int // candidate world ranks when src == AnySource
 }
 
 // mailbox holds the messages addressed to one process that no receive has
-// consumed yet. put/get form the only cross-goroutine interaction in the
-// simulation.
+// consumed yet, indexed by (context, sender) so a directed receive
+// inspects one short per-pair FIFO instead of scanning the whole backlog.
+// put/get form the only cross-goroutine interaction in the simulation.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	q      []*envelope
+	q      map[mbKey][]*envelope
 	closed bool
-	owner  int // world rank, for failure reporting
+	owner  int   // world rank, for failure reporting
+	enq    int64 // monotone enqueue counter; stamps envelope.order
 }
 
 func (m *mailbox) init() {
 	m.cond = sync.NewCond(&m.mu)
+	m.q = make(map[mbKey][]*envelope)
 }
 
 func (m *mailbox) put(e *envelope) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
-		return // message to a failed process disappears
+		m.mu.Unlock()
+		releaseEnvelope(e) // message to a failed process disappears
+		return
 	}
-	m.q = append(m.q, e)
+	e.order = m.enq
+	m.enq++
+	k := mbKey{ctx: e.ctx, src: e.src}
+	m.q[k] = append(m.q[k], e)
 	m.cond.Broadcast()
+	m.mu.Unlock()
 }
 
-// get blocks until a message matching the predicate is present, removes it
-// from the queue and returns it. Among simultaneously queued matches the
+// locate returns the bucket and index of the earliest-queued envelope the
+// selector accepts. Buckets are FIFO, so within one bucket the first tag
+// match is the earliest; across buckets the enqueue order decides, which
+// preserves the pre-indexing semantics (earliest queued wins, so
+// per-sender delivery stays non-overtaking). Called with m.mu held.
+func (m *mailbox) locate(sel recvSel) (mbKey, int, bool) {
+	if sel.src != AnySource {
+		k := mbKey{ctx: sel.ctx, src: sel.src}
+		for i, e := range m.q[k] {
+			if sel.tag == AnyTag || e.tag == sel.tag {
+				return k, i, true
+			}
+		}
+		return mbKey{}, 0, false
+	}
+	var bestK mbKey
+	bestI := -1
+	var bestOrder int64
+	for _, src := range sel.srcs {
+		k := mbKey{ctx: sel.ctx, src: src}
+		for i, e := range m.q[k] {
+			if sel.tag != AnyTag && e.tag != sel.tag {
+				continue
+			}
+			if bestI < 0 || e.order < bestOrder {
+				bestK, bestI, bestOrder = k, i, e.order
+			}
+			break // FIFO bucket: later entries are younger
+		}
+	}
+	if bestI < 0 {
+		return mbKey{}, 0, false
+	}
+	return bestK, bestI, true
+}
+
+// pop removes and returns the envelope at (k, i). Called with m.mu held.
+func (m *mailbox) pop(k mbKey, i int) *envelope {
+	q := m.q[k]
+	e := q[i]
+	copy(q[i:], q[i+1:])
+	q[len(q)-1] = nil
+	m.q[k] = q[:len(q)-1]
+	return e
+}
+
+// get blocks until a message matching the selector is present, removes it
+// from its queue and returns it. Among simultaneously queued matches the
 // earliest queued wins, which preserves per-sender FIFO (non-overtaking).
 // giveUp is re-checked whenever the mailbox wakes (failure and revocation
 // notifications broadcast to all mailboxes); a non-nil return panics with
 // that error.
-func (m *mailbox) get(match func(*envelope) bool, giveUp func() error) *envelope {
+func (m *mailbox) get(sel recvSel, giveUp func() error) *envelope {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
-		for i, e := range m.q {
-			if match(e) {
-				m.q = append(m.q[:i], m.q[i+1:]...)
-				return e
-			}
+		if k, i, ok := m.locate(sel); ok {
+			return m.pop(k, i)
 		}
 		if m.closed {
 			panic(&ProcessFailedError{Rank: m.owner})
@@ -85,14 +154,12 @@ func (m *mailbox) notify() {
 
 // peek blocks until a matching message is present and returns it without
 // removing it from the queue.
-func (m *mailbox) peek(match func(*envelope) bool, giveUp func() error) *envelope {
+func (m *mailbox) peek(sel recvSel, giveUp func() error) *envelope {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
-		for _, e := range m.q {
-			if match(e) {
-				return e
-			}
+		if k, i, ok := m.locate(sel); ok {
+			return m.q[k][i]
 		}
 		if m.closed {
 			panic(&ProcessFailedError{Rank: m.owner})
@@ -107,18 +174,17 @@ func (m *mailbox) peek(match func(*envelope) bool, giveUp func() error) *envelop
 }
 
 // tryGet is the non-blocking variant of get; peek leaves the message queued.
-func (m *mailbox) tryGet(match func(*envelope) bool, peek bool) *envelope {
+func (m *mailbox) tryGet(sel recvSel, peek bool) *envelope {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for i, e := range m.q {
-		if match(e) {
-			if !peek {
-				m.q = append(m.q[:i], m.q[i+1:]...)
-			}
-			return e
-		}
+	k, i, ok := m.locate(sel)
+	if !ok {
+		return nil
 	}
-	return nil
+	if peek {
+		return m.q[k][i]
+	}
+	return m.pop(k, i)
 }
 
 func (m *mailbox) close() {
@@ -173,18 +239,21 @@ func (c *Comm) sendCommon(dst, tag int, data []byte, copyBuf bool) vclock.Time {
 	p.clock.Advance(vclock.Time(link.Overhead))
 	_, end := p.nicOut.Reserve(p.clock.Now(), vclock.Time(link.TransferTime(len(data))))
 	buf := data
-	if copyBuf {
-		buf = append([]byte(nil), data...) // buffered send: sender may reuse data
+	// Buffered send: the sender may reuse data as soon as the call
+	// returns. The wire transport serialises the payload into a frame
+	// before deliver returns, so the defensive copy is needed only on the
+	// in-process path (and for wire self-delivery, which has no wire).
+	if copyBuf && (!p.world.wireTransport || dstW == p.rank) {
+		buf = append([]byte(nil), data...)
 	}
 	p.reqSeq++
-	env := &envelope{
-		ctx:    c.s.id,
-		src:    p.rank,
-		tag:    tag,
-		data:   buf,
-		arrive: end + vclock.Time(link.Latency),
-		seq:    p.reqSeq,
-	}
+	env := getEnv()
+	env.ctx = c.s.id
+	env.src = p.rank
+	env.tag = tag
+	env.data = buf
+	env.arrive = end + vclock.Time(link.Latency)
+	env.seq = p.reqSeq
 	p.stats.BytesSent += int64(len(data))
 	p.stats.MsgsSent++
 	if tr := p.world.trace; tr != nil {
@@ -225,30 +294,14 @@ func (c *Comm) IsendOwned(dst, tag int, data []byte) *Request {
 	return &Request{done: false, c: c, sendEnd: end}
 }
 
-// matcher builds the predicate for a receive or probe on this
-// communicator.
-func (c *Comm) matcher(src, tag int) func(*envelope) bool {
-	var srcW int
-	if src != AnySource {
-		c.checkRank("Recv", src)
-		srcW = c.s.members[src]
+// sel builds the mailbox selector for a receive or probe on this
+// communicator. AnySource receives accept any current member as sender.
+func (c *Comm) sel(src, tag int) recvSel {
+	if src == AnySource {
+		return recvSel{ctx: c.s.id, src: AnySource, tag: tag, srcs: c.s.members}
 	}
-	ctx := c.s.id
-	return func(e *envelope) bool {
-		if e.ctx != ctx {
-			return false
-		}
-		if src != AnySource && e.src != srcW {
-			return false
-		}
-		if src == AnySource && c.s.rankOf(e.src) < 0 {
-			return false
-		}
-		if tag != AnyTag && e.tag != tag {
-			return false
-		}
-		return true
-	}
+	c.checkRank("Recv", src)
+	return recvSel{ctx: c.s.id, src: c.s.members[src], tag: tag}
 }
 
 // failWatch returns the give-up predicate for a receive from src: if the
@@ -328,12 +381,34 @@ func (c *Comm) collCheck() {
 	}
 }
 
-// collRecv is the failure-aware receive used inside collectives.
+// collRecv is the failure-aware receive used inside collectives. The
+// returned payload is retained by the caller.
 func (c *Comm) collRecv(src, tag int) []byte {
 	t0 := c.p.clock.Now()
-	e := c.p.mbox.get(c.matcher(src, tag), c.collWatch())
-	c.finishRecv(e, t0)
-	return e.data
+	e := c.p.mbox.get(c.sel(src, tag), c.collWatch())
+	data, _ := c.consume(e, t0)
+	return data
+}
+
+// collGetAny blocks for a message carrying tag from any of the given
+// world ranks and returns the raw envelope WITHOUT applying receive
+// timing. Collective root drains use it to take messages as they arrive
+// and fold the timing in rank order afterwards, so one slow child does
+// not serialise the drain while simulated times stay deterministic.
+func (c *Comm) collGetAny(srcs []int, tag int) *envelope {
+	return c.p.mbox.get(recvSel{ctx: c.s.id, src: AnySource, tag: tag, srcs: srcs}, c.collWatch())
+}
+
+// collReduceRecv receives from src and folds the payload into acc with
+// op, without retaining the received buffer: the low-allocation reduction
+// path. opName appears in the length-mismatch panic.
+func (c *Comm) collReduceRecv(src, tag int, acc []byte, op Op, opName string) {
+	t0 := c.p.clock.Now()
+	e := c.p.mbox.get(c.sel(src, tag), c.collWatch())
+	c.consumeWith(e, t0, func(in []byte) {
+		reduceLenCheck(opName, len(in), len(acc))
+		op(acc, in)
+	})
 }
 
 // collSendrecv is the failure-aware combined send/receive used inside
@@ -345,10 +420,19 @@ func (c *Comm) collSendrecv(dst, sendTag int, data []byte, src, recvTag int) []b
 	return buf
 }
 
-// finishRecv applies timing and statistics for a consumed envelope. t0 is
-// the virtual time the receive was posted, used for tracing the waiting
-// interval.
-func (c *Comm) finishRecv(e *envelope, t0 vclock.Time) Status {
+// collSendrecvReduce sends out to dst and folds the message received from
+// src into acc, recycling the received buffer. out may alias acc: the
+// outgoing payload is captured before the reduction runs.
+func (c *Comm) collSendrecvReduce(dst, sendTag int, out []byte, src, recvTag int, acc []byte, op Op, opName string) {
+	sreq := c.Isend(dst, sendTag, out)
+	c.collReduceRecv(src, recvTag, acc, op, opName)
+	sreq.Wait()
+}
+
+// finishRecvTiming applies timing and statistics for a consumed envelope.
+// t0 is the virtual time the receive was posted, used for tracing the
+// waiting interval.
+func (c *Comm) finishRecvTiming(e *envelope, t0 vclock.Time) Status {
 	p := c.p
 	p.opTick()
 	link := p.world.cluster.Link(p.world.place[e.src], p.machine)
@@ -362,14 +446,40 @@ func (c *Comm) finishRecv(e *envelope, t0 vclock.Time) Status {
 	return Status{Source: c.s.rankOf(e.src), Tag: e.tag, Bytes: len(e.data)}
 }
 
+// consume applies receive timing for e and transfers its payload to the
+// caller. Pool-backed payloads are copied out and recycled
+// (copy-on-retain); everything else is handed over as-is. The envelope is
+// recycled and must not be touched afterwards.
+func (c *Comm) consume(e *envelope, t0 vclock.Time) ([]byte, Status) {
+	st := c.finishRecvTiming(e, t0)
+	data := e.data
+	if e.pbuf != nil {
+		data = append([]byte(nil), e.data...)
+	}
+	e.data = nil
+	releaseEnvelope(e)
+	return data, st
+}
+
+// consumeWith applies receive timing for e, hands the payload to fn for
+// in-place use, then recycles payload and envelope without copying: the
+// scratch path for consumers that fold the payload into an accumulator
+// and do not retain it. fn must not keep a reference to its argument.
+func (c *Comm) consumeWith(e *envelope, t0 vclock.Time, fn func(in []byte)) Status {
+	st := c.finishRecvTiming(e, t0)
+	fn(e.data)
+	e.data = nil
+	releaseEnvelope(e)
+	return st
+}
+
 // Recv blocks until a message from src with the given tag arrives (src may
 // be AnySource and tag AnyTag) and returns its payload. Messages between
 // one sender/receiver pair are non-overtaking.
 func (c *Comm) Recv(src, tag int) ([]byte, Status) {
 	t0 := c.p.clock.Now()
-	e := c.p.mbox.get(c.matcher(src, tag), c.failWatch(src))
-	st := c.finishRecv(e, t0)
-	return e.data, st
+	e := c.p.mbox.get(c.sel(src, tag), c.failWatch(src))
+	return c.consume(e, t0)
 }
 
 // Irecv starts a non-blocking receive; Wait performs the actual matching.
@@ -389,9 +499,8 @@ func (r *Request) Wait() ([]byte, Status) {
 	r.done = true
 	if r.recv {
 		t0 := r.c.p.clock.Now()
-		e := r.c.p.mbox.get(r.c.matcher(r.src, r.tag), r.c.failWatch(r.src))
-		r.status = r.c.finishRecv(e, t0)
-		r.data = e.data
+		e := r.c.p.mbox.get(r.c.sel(r.src, r.tag), r.c.failWatch(r.src))
+		r.data, r.status = r.c.consume(e, t0)
 		return r.data, r.status
 	}
 	// Send request: the buffer was copied eagerly, so completion only
@@ -408,13 +517,12 @@ func (r *Request) Test() (bool, []byte, Status) {
 		return true, r.data, r.status
 	}
 	if r.recv {
-		e := r.c.p.mbox.tryGet(r.c.matcher(r.src, r.tag), false)
+		e := r.c.p.mbox.tryGet(r.c.sel(r.src, r.tag), false)
 		if e == nil {
 			return false, nil, Status{}
 		}
 		r.done = true
-		r.status = r.c.finishRecv(e, r.c.p.clock.Now())
-		r.data = e.data
+		r.data, r.status = r.c.consume(e, r.c.p.clock.Now())
 		return true, r.data, r.status
 	}
 	if r.c.p.clock.Now() >= r.sendEnd {
@@ -462,13 +570,13 @@ func WaitAny(reqs []*Request) (int, []byte, Status) {
 
 // Probe blocks until a matching message is available without receiving it.
 func (c *Comm) Probe(src, tag int) Status {
-	e := c.p.mbox.peek(c.matcher(src, tag), c.failWatch(src))
+	e := c.p.mbox.peek(c.sel(src, tag), c.failWatch(src))
 	return Status{Source: c.s.rankOf(e.src), Tag: e.tag, Bytes: len(e.data)}
 }
 
 // Iprobe reports whether a matching message is available.
 func (c *Comm) Iprobe(src, tag int) (bool, Status) {
-	e := c.p.mbox.tryGet(c.matcher(src, tag), true)
+	e := c.p.mbox.tryGet(c.sel(src, tag), true)
 	if e == nil {
 		return false, Status{}
 	}

@@ -179,6 +179,9 @@ func newTCPTransport(w *World, opts TCPOptions) (*tcpTransport, error) {
 	}
 
 	w.deliver = t.deliver
+	// deliver serialises the payload into the frame before returning, so
+	// sendCommon can skip its defensive copy for non-self wire sends.
+	w.wireTransport = true
 	// Failure injection closes the failed rank's sockets, so remote peers
 	// observe the crash on the wire exactly as they would a real one.
 	w.OnFail(t.onRankFailed)
@@ -260,9 +263,9 @@ func (t *tcpTransport) dial(src, dst int) (net.Conn, error) {
 	return conn, nil
 }
 
-// frame encodes an envelope for the wire.
-func frame(e *envelope) []byte {
-	buf := make([]byte, frameHeaderLen+len(e.data))
+// frameInto encodes an envelope for the wire into buf, which must be
+// frameHeaderLen+len(e.data) bytes long.
+func frameInto(buf []byte, e *envelope) {
 	binary.LittleEndian.PutUint64(buf[0:], uint64(e.ctx))
 	binary.LittleEndian.PutUint64(buf[8:], uint64(int64(e.src)))
 	binary.LittleEndian.PutUint64(buf[16:], uint64(int64(e.tag)))
@@ -270,7 +273,14 @@ func frame(e *envelope) []byte {
 	binary.LittleEndian.PutUint64(buf[32:], math.Float64bits(float64(e.arrive)))
 	binary.LittleEndian.PutUint32(buf[40:], uint32(len(e.data)))
 	copy(buf[frameHeaderLen:], e.data)
-	return buf
+}
+
+// frameBuf encodes an envelope into a pooled buffer; the caller releases
+// it once the frame is written (or abandoned).
+func frameBuf(e *envelope) *poolBuf {
+	pb := getBuf(frameHeaderLen + len(e.data))
+	frameInto(pb.b, e)
+	return pb
 }
 
 // writeFrame sends one frame on the src->dst connection under the pair's
@@ -301,13 +311,20 @@ func (t *tcpTransport) deliver(dst int, e *envelope) {
 		return
 	}
 	if t.world.IsFailed(dst) {
+		releaseEnvelope(e)
 		return // message to a failed process disappears
 	}
-	buf := frame(e)
-	if t.writeFrame(e.src, dst, buf) == nil {
+	// The frame captures the payload, so the envelope (and, for
+	// sendCommon's copy elision, the sender's buffer) is done with as soon
+	// as the frame is built; the pooled frame buffer outlives the write.
+	pb := frameBuf(e)
+	defer pb.release()
+	src := e.src
+	releaseEnvelope(e)
+	if t.writeFrame(src, dst, pb.b) == nil {
 		return
 	}
-	if t.reconnect(e.src, dst, buf) {
+	if t.reconnect(src, dst, pb.b) {
 		return
 	}
 	// The peer stayed unreachable through every retry: it is dead. Mark
@@ -378,21 +395,27 @@ func (t *tcpTransport) pump(dst, src int, conn net.Conn) {
 			t.lastSeen[dst][src].Store(time.Now().UnixNano())
 			continue
 		}
-		e := &envelope{
-			ctx:    ctx,
-			src:    int(int64(binary.LittleEndian.Uint64(hdr[8:]))),
-			tag:    int(int64(binary.LittleEndian.Uint64(hdr[16:]))),
-			seq:    int64(binary.LittleEndian.Uint64(hdr[24:])),
-			arrive: vclock.Time(math.Float64frombits(binary.LittleEndian.Uint64(hdr[32:]))),
-		}
+		e := getEnv()
+		e.ctx = ctx
+		e.src = int(int64(binary.LittleEndian.Uint64(hdr[8:])))
+		e.tag = int(int64(binary.LittleEndian.Uint64(hdr[16:])))
+		e.seq = int64(binary.LittleEndian.Uint64(hdr[24:]))
+		e.arrive = vclock.Time(math.Float64frombits(binary.LittleEndian.Uint64(hdr[32:])))
 		if size > 0 {
-			e.data = make([]byte, size)
-			if _, err := io.ReadFull(conn, e.data); err != nil {
+			// Pool-backed payload: the consumption helpers copy-on-retain,
+			// so recycling the buffer after the receive is safe.
+			pb := getBuf(int(size))
+			if _, err := io.ReadFull(conn, pb.b); err != nil {
+				pb.release()
+				putEnv(e)
 				t.peerGone(dst, src)
 				return
 			}
+			e.data = pb.b
+			e.pbuf = pb
 		}
 		if e.src != src {
+			releaseEnvelope(e)
 			return // protocol violation; drop the connection
 		}
 		t.lastSeen[dst][src].Store(time.Now().UnixNano())
@@ -421,7 +444,8 @@ func (t *tcpTransport) peerGone(dst, src int) {
 func (t *tcpTransport) heartbeat(src int) {
 	defer t.wg.Done()
 	n := len(t.world.procs)
-	buf := frame(&envelope{ctx: heartbeatCtx, src: src})
+	buf := make([]byte, frameHeaderLen)
+	frameInto(buf, &envelope{ctx: heartbeatCtx, src: src})
 	ticker := time.NewTicker(t.opts.HeartbeatInterval)
 	defer ticker.Stop()
 	for {

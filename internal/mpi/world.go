@@ -77,6 +77,16 @@ type World struct {
 	// transport.
 	deliver func(dst int, e *envelope)
 
+	// wireTransport is set by transports whose deliver serialises the
+	// payload before returning (TCP): sendCommon can then skip its
+	// defensive copy for non-self sends.
+	wireTransport bool
+
+	// collTuning is the collective algorithm policy communicators inherit
+	// at creation (nil means DefaultCollTuning). Set before Run via
+	// SetCollTuning.
+	collTuning *CollTuning
+
 	// trace, when non-nil, records per-process activity intervals.
 	trace *Trace
 }
@@ -129,6 +139,13 @@ func OneProcessPerMachine(cluster *hnoc.Cluster) []int {
 
 // Size returns the number of processes in the world.
 func (w *World) Size() int { return len(w.procs) }
+
+// SetCollTuning installs the collective algorithm policy every
+// communicator of this world inherits (CommWorld and everything derived
+// from it). Passing nil restores the default policy. Call before Run;
+// every process must observe the same policy or collectives would
+// disagree on their communication pattern and deadlock.
+func (w *World) SetCollTuning(t *CollTuning) { w.collTuning = t }
 
 // Cluster returns the cluster the world runs on.
 func (w *World) Cluster() *hnoc.Cluster { return w.cluster }
@@ -392,10 +409,11 @@ func (p *Proc) CommWorld() *Comm {
 			members[i] = i
 		}
 		p.commWorld = &Comm{
-			p:     p,
-			s:     &commShared{id: 0, members: members},
-			rank:  p.rank,
-			group: &Group{ranks: members},
+			p:      p,
+			s:      &commShared{id: 0, members: members},
+			rank:   p.rank,
+			group:  &Group{ranks: members},
+			tuning: p.world.collTuning,
 		}
 	}
 	return p.commWorld
