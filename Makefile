@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench profile check lint figures examples clean
+.PHONY: all build test race bench profile check lint figures examples trace clean
 
 all: build test
 
@@ -39,12 +39,14 @@ race:
 # search engine's evaluations/cache hits/pruned/wall time per
 # configuration; BENCH_PR4.json records the collective engine's simulated
 # time per algorithm and the TCP wire path's allocs/op with and without
-# buffer pooling.
+# buffer pooling; BENCH_PR5.json records tracing overhead and clock
+# identity on the EM3D workload.
 bench:
 	$(GO) test -bench=. -benchmem .
 	$(GO) test -bench=. -benchmem ./internal/mpi/
 	$(GO) run ./cmd/hmpibench -searchbench BENCH_PR3.json
 	$(GO) run ./cmd/hmpibench -collbench BENCH_PR4.json
+	$(GO) run ./cmd/hmpibench -tracebench BENCH_PR5.json
 
 # Profile the group-selection sweep; inspect with `go tool pprof`.
 profile:
@@ -53,6 +55,17 @@ profile:
 # Regenerate every figure/table of EXPERIMENTS.md (writes CSVs to out/).
 figures:
 	$(GO) run ./cmd/hmpibench -fig all -o out
+
+# Record an EM3D run and analyse it: per-phase predicted-vs-observed,
+# critical path, per-rank breakdown, and a Perfetto-loadable export.
+trace:
+	$(GO) run ./cmd/hmpirun -app em3d -mode hmpi -tracefile em3d.trace -metrics em3d.metrics.json
+	$(GO) run ./cmd/hmpitrace info em3d.trace
+	$(GO) run ./cmd/hmpitrace report em3d.trace
+	$(GO) run ./cmd/hmpitrace critical em3d.trace
+	$(GO) run ./cmd/hmpitrace breakdown em3d.trace
+	$(GO) run ./cmd/hmpitrace export -o em3d.chrome.json em3d.trace
+	@echo "wrote em3d.trace, em3d.metrics.json, em3d.chrome.json (load in ui.perfetto.dev)"
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -66,4 +79,4 @@ examples:
 	$(GO) run ./examples/tcptransport
 
 clean:
-	rm -rf out test_output.txt bench_output.txt BENCH_PR3.json BENCH_PR4.json cpu.pprof mem.pprof
+	rm -rf out test_output.txt bench_output.txt BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json cpu.pprof mem.pprof em3d.trace em3d.metrics.json em3d.chrome.json

@@ -10,11 +10,11 @@
 //	hmpibench -list             # available figure IDs
 //	hmpibench -searchbench BENCH_PR3.json   # search-engine sweep as JSON
 //	hmpibench -collbench BENCH_PR4.json     # collective-engine benchmark as JSON
+//	hmpibench -tracebench BENCH_PR5.json    # tracing-overhead benchmark as JSON
 //	hmpibench -fig mapper -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,11 +32,7 @@ func writeSearchBench(path string) error {
 	if err != nil {
 		return err
 	}
-	data, err := json.MarshalIndent(points, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return experiments.WriteBenchJSON(path, points)
 }
 
 // writeCollBench runs the collective-engine benchmark (simulated time per
@@ -48,11 +44,18 @@ func writeCollBench(path string) error {
 	if err != nil {
 		return err
 	}
-	data, err := json.MarshalIndent(bench, "", "  ")
+	return experiments.WriteBenchJSON(path, bench)
+}
+
+// writeTraceBench runs the observability-overhead benchmark (traced vs
+// untraced EM3D, clock identity, trace-driven Timeof accuracy) and stores
+// it as JSON (the artifact CI publishes as the observability record).
+func writeTraceBench(path string) error {
+	bench, err := experiments.TraceBenchReport()
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return experiments.WriteBenchJSON(path, bench)
 }
 
 // writeCSV stores one figure as CSV in dir.
@@ -75,6 +78,7 @@ func main() {
 	list := flag.Bool("list", false, "list available figure IDs and exit")
 	searchBench := flag.String("searchbench", "", "run the search-engine sweep and write it as JSON to the given file, then exit")
 	collBench := flag.String("collbench", "", "run the collective-engine benchmark and write it as JSON to the given file, then exit")
+	traceBench := flag.String("tracebench", "", "run the tracing-overhead benchmark and write it as JSON to the given file, then exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to the given file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to the given file")
 	flag.Parse()
@@ -122,6 +126,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *collBench)
+		return
+	}
+
+	if *traceBench != "" {
+		if err := writeTraceBench(*traceBench); err != nil {
+			fmt.Fprintf(os.Stderr, "hmpibench: tracebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *traceBench)
 		return
 	}
 

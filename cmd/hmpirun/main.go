@@ -31,6 +31,7 @@ import (
 	"repro/internal/hmpi"
 	"repro/internal/hnoc"
 	"repro/internal/mpi"
+	trc "repro/internal/trace"
 )
 
 func main() {
@@ -47,9 +48,15 @@ func main() {
 	gridRows := flag.Int("grid", 1800, "jacobi: grid dimension (rows = cols)")
 	trace := flag.Bool("trace", false, "print a per-process activity timeline after each run")
 	ganttWidth := flag.Int("trace-width", 100, "timeline width in columns")
+	traceFile := flag.String("tracefile", "", "record a structured event trace and write it to this file (binary; analyse with hmpitrace)")
+	metricsFile := flag.String("metrics", "", "write a metrics-registry snapshot of the recorded run to this JSON file")
 	chaosSpec := flag.String("chaos", "",
 		`fault schedule, e.g. "2@0.5;4@1.2" or "rand:k=2,seed=42,tmax=1.0"; runs the app under the self-healing harness`)
 	flag.Parse()
+
+	if (*traceFile != "" || *metricsFile != "") && *mode == "both" && *chaosSpec == "" {
+		fatal(errors.New("-tracefile/-metrics record a single run; pick -mode hmpi or -mode mpi"))
+	}
 
 	cluster := hnoc.Paper9()
 	if *clusterPath != "" {
@@ -61,6 +68,7 @@ func main() {
 	}
 
 	var lastTrace *mpi.Trace
+	var rec *trc.Recorder
 	newRT := func() *hmpi.Runtime {
 		rt, err := hmpi.New(hmpi.Config{Cluster: cluster})
 		if err != nil {
@@ -69,9 +77,43 @@ func main() {
 		if *trace {
 			lastTrace = rt.EnableTracing()
 		}
+		if *traceFile != "" || *metricsFile != "" {
+			rec = rt.EnableRecorder(*app, trc.Options{})
+		}
 		return rt
 	}
+	// saveObs writes the recorded structured trace and metrics snapshot,
+	// once, after the traced run completes.
+	saveObs := func() {
+		if rec == nil {
+			return
+		}
+		d := rec.Data()
+		if *traceFile != "" {
+			if err := d.WriteFile(*traceFile); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace: wrote %s (%d events, %d dropped)\n", *traceFile, len(d.Events()), d.Meta.Dropped)
+		}
+		if *metricsFile != "" {
+			reg := trc.NewRegistry()
+			reg.FillFromData(d)
+			f, err := os.Create(*metricsFile)
+			if err != nil {
+				fatal(err)
+			}
+			if err := reg.Snapshot().WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace: wrote metrics %s\n", *metricsFile)
+		}
+		rec = nil
+	}
 	printTrace := func(label string, ranks int) {
+		defer saveObs()
 		if !*trace || lastTrace == nil {
 			return
 		}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/analysis/modelcheck"
 	"repro/internal/analysis/reconpure"
 	"repro/internal/analysis/tagconst"
+	"repro/internal/analysis/tracescope"
 	"repro/internal/pmdl"
 )
 
@@ -39,6 +40,7 @@ var all = []*analysis.Analyzer{
 	groupfree.Analyzer,
 	reconpure.Analyzer,
 	tagconst.Analyzer,
+	tracescope.Analyzer,
 }
 
 func main() {

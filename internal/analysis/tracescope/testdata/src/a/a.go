@@ -1,0 +1,82 @@
+// Fixture for the tracescope analyzer. It only needs to parse: the types
+// mimic the tracing API surface syntactically.
+package a
+
+type Proc struct{}
+
+func (p *Proc) TraceRegionBegin(name string) {}
+func (p *Proc) TraceRegionEnd(name string)   {}
+
+type Recorder struct{}
+
+func (r *Recorder) RegionBegin(rank int, name string, now float64) {}
+func (r *Recorder) RegionEnd(rank int, name string, now float64)   {}
+
+func dynamicName() string { return "x" }
+
+func balanced(p *Proc) {
+	p.TraceRegionBegin("phase")
+	p.TraceRegionEnd("phase")
+}
+
+func unclosed(p *Proc) {
+	p.TraceRegionBegin("phase") // want "begun but never ended"
+}
+
+func endOnly(p *Proc) {
+	p.TraceRegionEnd("phase") // want "ended but never begun"
+}
+
+func mismatchedNames(p *Proc) {
+	p.TraceRegionBegin("compute") // want "begun but never ended"
+	p.TraceRegionEnd("comunicate") // want "ended but never begun"
+}
+
+func nested(p *Proc) {
+	p.TraceRegionBegin("outer")
+	p.TraceRegionBegin("inner")
+	p.TraceRegionEnd("inner")
+	p.TraceRegionEnd("outer")
+}
+
+func repeatedUnbalanced(p *Proc) {
+	p.TraceRegionBegin("loop")
+	p.TraceRegionEnd("loop")
+	p.TraceRegionBegin("loop") // want "begun but never ended"
+}
+
+func recorderLevel(r *Recorder) {
+	r.RegionBegin(0, "solve", 0) // want "begun but never ended"
+	r.RegionEnd(0, "cleanup", 1) // want "ended but never begun"
+}
+
+func recorderBalanced(r *Recorder) {
+	r.RegionBegin(0, "solve", 0)
+	r.RegionEnd(0, "solve", 1)
+}
+
+func dynamic(p *Proc) {
+	// Non-literal names are not analysable; no finding.
+	p.TraceRegionBegin(dynamicName())
+}
+
+func closures(p *Proc) {
+	// Begin/end inside a nested literal belong to the literal's own
+	// check, which here is balanced.
+	f := func() {
+		p.TraceRegionBegin("inner")
+		p.TraceRegionEnd("inner")
+	}
+	f()
+}
+
+func closureUnclosed(p *Proc) {
+	f := func() {
+		p.TraceRegionBegin("inner") // want "begun but never ended"
+	}
+	f()
+}
+
+func ignored(p *Proc) {
+	p.TraceRegionBegin("manual") //hmpivet:ignore tracescope — closed by a helper the analysis cannot follow
+}

@@ -1,0 +1,136 @@
+// Package tracescope checks trace-region hygiene: every
+// TraceRegionBegin("phase") must have a matching TraceRegionEnd("phase")
+// in the same function body, and vice versa. An unclosed region records a
+// begin with no end — the recorder counts it as an unclosed frame and the
+// phase never appears in the predicted-vs-observed report; an end with no
+// begin is silently dropped at runtime (counted as a bad end) and usually
+// means a rename applied to one side only.
+//
+// The analysis is syntactic and per-function: it pairs begin and end
+// calls by their literal name argument. Calls whose name is not a string
+// literal are skipped (the analysis cannot evaluate them), as are
+// functions where a begin or end sits inside a nested function literal —
+// a region legitimately closed by a deferred closure or a helper is not
+// this analyzer's business. Both the Proc-level methods
+// (TraceRegionBegin/TraceRegionEnd) and the recorder-level ones
+// (RegionBegin/RegionEnd, name in the second argument) are recognised.
+package tracescope
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the tracescope check.
+var Analyzer = &analysis.Analyzer{
+	Name: "tracescope",
+	Doc:  "report trace regions begun without a matching end (and ends without a begin) in the same function",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body)
+				}
+				return true
+			case *ast.FuncLit:
+				checkBody(pass, fn.Body)
+				// checkBody skips nested literals itself; keep walking so
+				// deeper literals get their own check.
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// regionCall is one begin or end site.
+type regionCall struct {
+	name string
+	pos  token.Pos
+}
+
+// checkBody pairs the region begins and ends of one function body,
+// ignoring calls inside nested function literals (they belong to the
+// literal's own check).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var begins, ends []regionCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var nameArg int
+		switch sel.Sel.Name {
+		case "TraceRegionBegin", "TraceRegionEnd":
+			nameArg = 0 // p.TraceRegionBegin("phase")
+		case "RegionBegin", "RegionEnd":
+			nameArg = 1 // rec.RegionBegin(rank, "phase", now)
+		default:
+			return true
+		}
+		if len(call.Args) <= nameArg {
+			return true
+		}
+		lit, ok := call.Args[nameArg].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true // dynamic name: not analysable
+		}
+		name, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		rc := regionCall{name: name, pos: call.Pos()}
+		switch sel.Sel.Name {
+		case "TraceRegionBegin", "RegionBegin":
+			begins = append(begins, rc)
+		default:
+			ends = append(ends, rc)
+		}
+		return true
+	})
+	if len(begins) == 0 && len(ends) == 0 {
+		return
+	}
+	endCount := make(map[string]int, len(ends))
+	for _, e := range ends {
+		endCount[e.name]++
+	}
+	beginCount := make(map[string]int, len(begins))
+	for _, b := range begins {
+		beginCount[b.name]++
+	}
+	// Pair greedily per name: surplus begins report at their site, then
+	// surplus ends at theirs.
+	used := make(map[string]int, len(endCount))
+	for _, b := range begins {
+		if used[b.name] < endCount[b.name] {
+			used[b.name]++
+			continue
+		}
+		pass.Reportf(b.pos, "trace region %q begun but never ended in this function", b.name)
+	}
+	usedB := make(map[string]int, len(beginCount))
+	for _, e := range ends {
+		if usedB[e.name] < beginCount[e.name] {
+			usedB[e.name]++
+			continue
+		}
+		pass.Reportf(e.pos, "trace region %q ended but never begun in this function", e.name)
+	}
+}

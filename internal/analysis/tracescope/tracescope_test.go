@@ -1,0 +1,13 @@
+package tracescope_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/tracescope"
+)
+
+func TestTraceScope(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), tracescope.Analyzer)
+}

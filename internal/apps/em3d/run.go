@@ -243,6 +243,10 @@ func RunHMPI(rt *hmpi.Runtime, pr *Problem, opts RunOptions) (Result, error) {
 				return err
 			}
 			res.Predicted = pred * float64(opts.Iters)
+			// Record the prediction under the phase name the region
+			// below uses, so the predicted-vs-observed report joins
+			// them.
+			h.Proc().TracePredict("em3d", res.Predicted)
 		}
 		if h.IsHost() || h.IsFree() {
 			g, err = h.GroupCreate(model, local.ModelArgs()...)
@@ -254,12 +258,14 @@ func RunHMPI(rt *hmpi.Runtime, pr *Problem, opts RunOptions) (Result, error) {
 			return nil
 		}
 		comm := g.Comm()
+		h.Proc().TraceRegionBegin("em3d")
 		start := h.Proc().Now()
 		if err := RunParallel(comm, local, opts); err != nil {
 			return err
 		}
 		comm.Barrier() // measure until the last process finishes
 		elapsed := h.Proc().Now() - start
+		h.Proc().TraceRegionEnd("em3d")
 		if h.IsHost() {
 			res.Time = elapsed
 			res.Selection = g.WorldRanks()

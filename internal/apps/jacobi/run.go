@@ -164,6 +164,7 @@ func RunHMPI(rt *hmpi.Runtime, pr *Problem, collect bool) (Result, error) {
 				return err
 			}
 			res.Predicted = pred * float64(pr.Iters)
+			h.Proc().TracePredict("jacobi", res.Predicted)
 			g, err = h.GroupCreate(model, pr.ModelArgs(hostHeights)...)
 			if err != nil {
 				return err
@@ -180,6 +181,7 @@ func RunHMPI(rt *hmpi.Runtime, pr *Problem, collect bool) (Result, error) {
 		}
 		comm := g.Comm()
 		heights := bcastHeights(comm, hostHeights, pr.P)
+		h.Proc().TraceRegionBegin("jacobi")
 		start := h.Proc().Now()
 		field, err := RunParallel(comm, pr, heights, collect)
 		if err != nil {
@@ -187,6 +189,7 @@ func RunHMPI(rt *hmpi.Runtime, pr *Problem, collect bool) (Result, error) {
 		}
 		comm.Barrier()
 		elapsed := h.Proc().Now() - start
+		h.Proc().TraceRegionEnd("jacobi")
 		if h.IsHost() {
 			res.Time = elapsed
 			res.Selection = g.WorldRanks()

@@ -331,6 +331,10 @@ func RunHMPI(rt *hmpi.Runtime, pr *Problem, lCandidates []int, opts RunOptions) 
 			}
 			res.Predicted = bestTime
 			res.L = hostDist.L()
+			// Record the winning prediction under the phase name the
+			// region below uses, so the predicted-vs-observed report
+			// joins them.
+			h.Proc().TracePredict("matmul", res.Predicted)
 			g, err = h.GroupCreate(model, hostDist.ModelArgs()...)
 			if err != nil {
 				return err
@@ -349,6 +353,7 @@ func RunHMPI(rt *hmpi.Runtime, pr *Problem, lCandidates []int, opts RunOptions) 
 		// The host broadcasts the chosen distribution (l, w, flattened
 		// row starts) so every member reconstructs it identically.
 		dist := bcastDist(comm, hostDist, pr)
+		h.Proc().TraceRegionBegin("matmul")
 		start := h.Proc().Now()
 		c, err := RunParallel(comm, pr, dist, opts)
 		if err != nil {
@@ -356,6 +361,7 @@ func RunHMPI(rt *hmpi.Runtime, pr *Problem, lCandidates []int, opts RunOptions) 
 		}
 		comm.Barrier()
 		elapsed := h.Proc().Now() - start
+		h.Proc().TraceRegionEnd("matmul")
 		if h.IsHost() {
 			res.Time = elapsed
 			res.Selection = g.WorldRanks()

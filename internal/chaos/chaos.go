@@ -182,6 +182,9 @@ func (s *Schedule) Attach(w *mpi.World, onKill func(Event)) error {
 				if onKill != nil {
 					onKill(e)
 				}
+				// The hook runs on the victim's own goroutine, so
+				// recording on its trace shard is single-writer safe.
+				w.RecordKill(e.Rank, now)
 				w.Fail(e.Rank)
 				panic(&mpi.KilledError{Rank: e.Rank})
 			}

@@ -1,0 +1,21 @@
+package experiments
+
+// The common emitter for the benchmark artifacts hmpibench publishes
+// (-searchbench, -collbench, -tracebench): indented JSON with a trailing
+// newline, written atomically enough for CI artifact upload (full
+// marshal first, then one WriteFile).
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// WriteBenchJSON marshals v as indented JSON and writes it to path with a
+// trailing newline — the single format every hmpibench JSON artifact uses.
+func WriteBenchJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

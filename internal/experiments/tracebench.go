@@ -1,0 +1,116 @@
+package experiments
+
+// The observability-overhead benchmark behind `hmpibench -tracebench`:
+// the same EM3D workload runs with and without the structured event
+// recorder attached, and the report records the wall-time overhead of
+// tracing, whether the simulated clocks stayed bit-identical (they must —
+// the recorder only observes), and the predicted-vs-observed accuracy the
+// recorded trace yields. CI publishes the JSON as the observability
+// performance record; the acceptance bar is enabled overhead under 15%.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps/em3d"
+	"repro/internal/hmpi"
+	"repro/internal/hnoc"
+	"repro/internal/trace"
+)
+
+// TraceBench is the JSON document `hmpibench -tracebench` emits.
+type TraceBench struct {
+	// Workload identifies the benchmarked run.
+	Workload string `json:"workload"`
+	// Runs is the number of repetitions per variant; wall times are the
+	// per-variant minima (the least-noise estimate).
+	Runs int `json:"runs"`
+	// UntracedWallNS and TracedWallNS are the minimum wall times.
+	UntracedWallNS int64 `json:"untraced_wall_ns"`
+	TracedWallNS   int64 `json:"traced_wall_ns"`
+	// OverheadPct is (traced-untraced)/untraced, in percent. Negative
+	// values (measurement noise on small workloads) report as 0.
+	OverheadPct float64 `json:"overhead_pct"`
+	// MakespanS is the simulated time of the run, identical across
+	// variants (ClocksIdentical asserts it).
+	MakespanS       float64 `json:"makespan_s"`
+	ClocksIdentical bool    `json:"clocks_identical"`
+	// Events and Dropped describe the recorded trace.
+	Events  int   `json:"events"`
+	Dropped int64 `json:"dropped"`
+	// PhaseRelError is the recorded run's predicted-vs-observed relative
+	// error for the application phase (the trace-driven Timeof check).
+	PhaseRelError float64 `json:"phase_rel_error"`
+}
+
+// traceBenchWorkload runs the EM3D HMPI program once, optionally traced,
+// returning the simulated time, the wall time, and the recorder (nil when
+// untraced).
+func traceBenchWorkload(traced bool) (float64, time.Duration, *trace.Recorder, error) {
+	pr, err := em3d.Generate(em3d.Config{P: 9, TotalNodes: 120_000, Light: true})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	rt, err := hmpi.New(hmpi.Config{Cluster: hnoc.Paper9()})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	var rec *trace.Recorder
+	if traced {
+		rec = rt.EnableRecorder("em3d", trace.Options{})
+	}
+	t0 := time.Now()
+	res, err := em3d.RunHMPI(rt, pr, em3d.RunOptions{Iters: 5})
+	wall := time.Since(t0)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return float64(res.Time), wall, rec, nil
+}
+
+// TraceBenchReport measures the overhead of structured event tracing on
+// the EM3D workload.
+func TraceBenchReport() (*TraceBench, error) {
+	const runs = 5
+	bench := &TraceBench{Workload: "em3d p=9 nodes=120000 iters=5 (Paper9)", Runs: runs, ClocksIdentical: true}
+	var rec *trace.Recorder
+	for i := 0; i < runs; i++ {
+		for _, traced := range []bool{false, true} {
+			sim, wall, r, err := traceBenchWorkload(traced)
+			if err != nil {
+				return nil, err
+			}
+			if bench.MakespanS == 0 {
+				bench.MakespanS = sim
+			} else if sim != bench.MakespanS {
+				// Tracing must not perturb the simulation; a differing
+				// makespan is a correctness failure, not noise.
+				bench.ClocksIdentical = false
+			}
+			ns := wall.Nanoseconds()
+			if traced {
+				if bench.TracedWallNS == 0 || ns < bench.TracedWallNS {
+					bench.TracedWallNS = ns
+				}
+				rec = r
+			} else if bench.UntracedWallNS == 0 || ns < bench.UntracedWallNS {
+				bench.UntracedWallNS = ns
+			}
+		}
+	}
+	if !bench.ClocksIdentical {
+		return bench, fmt.Errorf("experiments: tracing changed the simulated makespan")
+	}
+	if bench.UntracedWallNS > 0 {
+		pct := 100 * float64(bench.TracedWallNS-bench.UntracedWallNS) / float64(bench.UntracedWallNS)
+		if pct > 0 {
+			bench.OverheadPct = pct
+		}
+	}
+	d := rec.Data()
+	bench.Events = len(d.Events())
+	bench.Dropped = d.Meta.Dropped
+	rep := trace.BuildReport(d)
+	bench.PhaseRelError = rep.MaxAbsRelError()
+	return bench, nil
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/mapper"
 	"repro/internal/mpi"
 	"repro/internal/pmdl"
+	"repro/internal/trace"
 )
 
 // tagFTCtrl carries RunResilient's host-to-worker control protocol.
@@ -116,6 +117,7 @@ func (h *Process) GroupRecreate(g *Group, model *pmdl.Model, args ...any) (*Grou
 	if model == nil {
 		return nil, fmt.Errorf("hmpi: the parent must supply a model to GroupRecreate")
 	}
+	t0, w0 := h.traceStart()
 	inst, asg, err := h.solveSelection(model, args, me)
 	if err != nil {
 		// Too few survivors for the model (or the like): release the
@@ -126,6 +128,7 @@ func (h *Process) GroupRecreate(g *Group, model *pmdl.Model, args ...any) (*Grou
 	ng, err := h.distributeGroup(asg.Ranks, inst.Parent)
 	if ng != nil {
 		ng.stats = asg.Stats
+		h.recordGroupEvent(trace.KindGroupRecreate, ng.key, ng.Size(), asg, t0, w0)
 	}
 	return ng, err
 }
@@ -174,6 +177,7 @@ func (h *Process) resilientHost(plan ResilientPlan, work func(g *Group) error) e
 	me := h.Rank()
 	var g *Group
 	for {
+		t0, w0 := h.traceStart()
 		// Who is parked (free, alive, and not a member of the failed
 		// group)? They receive control messages; survivors of the old
 		// group instead synchronise through the recreation barrier.
@@ -211,12 +215,22 @@ func (h *Process) resilientHost(plan ResilientPlan, work func(g *Group) error) e
 			return err
 		}
 		h.ctrlTo(parked, ctrlCreate)
+		recreating := g != nil
 		g, err = h.distributeGroup(asg.Ranks, inst.Parent)
 		if err != nil {
 			h.ctrlTo(parked, ctrlAbort)
 			return err
 		}
 		g.stats = asg.Stats
+		// The resilient loop selects groups without going through
+		// createGroup/GroupRecreate, so it records the lifecycle events
+		// itself: the first pass is a creation, every later one a
+		// post-failure recreation.
+		kind := trace.KindGroupCreate
+		if recreating {
+			kind = trace.KindGroupRecreate
+		}
+		h.recordGroupEvent(kind, g.key, g.Size(), asg, t0, w0)
 		werr := catchWork(func() error { return work(g) })
 		if IsFailureError(werr) {
 			// Members blocked on live peers would otherwise wait

@@ -7,6 +7,7 @@ import (
 	"repro/internal/mapper"
 	"repro/internal/mpi"
 	"repro/internal/pmdl"
+	"repro/internal/trace"
 )
 
 // Process is the per-process view of the HMPI runtime: the handle the SPMD
@@ -79,6 +80,7 @@ func (h *Process) Recon(bench BenchmarkFunc) error {
 	if bench.Run == nil || bench.Units <= 0 {
 		return fmt.Errorf("hmpi: Recon needs a benchmark with positive volume")
 	}
+	t0, w0 := h.traceStart()
 	start := h.proc.Now()
 	if err := bench.Run(h.proc); err != nil {
 		return fmt.Errorf("hmpi: benchmark failed on process %d: %w", h.Rank(), err)
@@ -92,6 +94,7 @@ func (h *Process) Recon(bench BenchmarkFunc) error {
 	for r, b := range all {
 		h.speeds[r] = mpi.BytesFloat64(b)[0]
 	}
+	h.recordRecon(mine, t0, w0)
 	return nil
 }
 
@@ -218,6 +221,7 @@ func (h *Process) createGroup(isParent bool, model *pmdl.Model, args []any, opts
 		if model == nil {
 			return nil, fmt.Errorf("hmpi: the parent must supply a model to GroupCreate")
 		}
+		t0, w0 := h.traceStart()
 		inst, asg, err := h.solveSelectionOpts(model, args, h.Rank(), opts)
 		if err != nil {
 			return nil, err
@@ -225,6 +229,7 @@ func (h *Process) createGroup(isParent bool, model *pmdl.Model, args []any, opts
 		g, err := h.distributeGroup(asg.Ranks, inst.Parent)
 		if g != nil {
 			g.stats = asg.Stats
+			h.recordGroupEvent(trace.KindGroupCreate, g.key, g.Size(), asg, t0, w0)
 		}
 		return g, err
 	}
@@ -384,6 +389,7 @@ func (h *Process) GroupFree(g *Group) error {
 	_ = mpi.Catch(func() { g.comm.Barrier() })
 	g.comm.Free()
 	g.rank = -1
+	h.recordGroupFree(g.key)
 	return nil
 }
 

@@ -212,17 +212,18 @@ func (c *Comm) bcastSegmented(root int, data []byte, knownLen int) []byte {
 
 // bcastAuto: the root picks by payload size; the choice and the length
 // travel down the tree in a header, then the chosen algorithm runs with
-// the length pre-negotiated.
-func (c *Comm) bcastAuto(root int, data []byte) []byte {
+// the length pre-negotiated. The resolved algorithm is returned so the
+// dispatcher can record it.
+func (c *Comm) bcastAuto(root int, data []byte) ([]byte, BcastAlg) {
 	alg := BcastBinomial
 	if c.rank == root {
 		alg = c.coll().bcastAlg(len(data))
 	}
 	alg, length := c.bcastHeader(root, alg, len(data))
 	if alg == BcastSegmented {
-		return c.bcastSegmented(root, data, length)
+		return c.bcastSegmented(root, data, length), alg
 	}
-	return c.bcastBinomial(root, data)
+	return c.bcastBinomial(root, data), alg
 }
 
 // --- ReduceScatter ------------------------------------------------------

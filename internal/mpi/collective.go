@@ -55,14 +55,22 @@ func (c *Comm) Bcast(root int, data []byte) []byte {
 		return data
 	}
 	c.collCheck()
-	switch c.coll().Bcast {
+	rec, t0, w0 := c.collStart()
+	alg := c.coll().Bcast
+	var out []byte
+	switch alg {
 	case BcastSegmented:
-		return c.bcastSegmented(root, data, -1)
+		out = c.bcastSegmented(root, data, -1)
 	case BcastAuto:
-		return c.bcastAuto(root, data)
+		out, alg = c.bcastAuto(root, data)
 	default:
-		return c.bcastBinomial(root, data)
+		alg = BcastBinomial
+		out = c.bcastBinomial(root, data)
 	}
+	if rec != nil {
+		c.collEnd(bcastAlgNames[alg], int64(alg), len(out), t0, w0)
+	}
+	return out
 }
 
 // bcastBinomial is the legacy broadcast: the whole payload travels a
@@ -132,22 +140,30 @@ func (c *Comm) Reduce(root int, data []byte, op Op) []byte {
 // equal-length data.
 func (c *Comm) Allreduce(data []byte, op Op) []byte {
 	n := c.Size()
-	switch c.coll().allreduceAlg(n, len(data)) {
+	rec, t0, w0 := c.collStart()
+	alg := c.coll().allreduceAlg(n, len(data))
+	var out []byte
+	switch alg {
 	case AllreduceRecursiveDoubling:
 		if n == 1 {
 			return append([]byte(nil), data...)
 		}
 		c.collCheck()
-		return c.allreduceRecDbl(data, op)
+		out = c.allreduceRecDbl(data, op)
 	case AllreduceRing:
 		if n == 1 {
 			return append([]byte(nil), data...)
 		}
 		c.collCheck()
-		return c.allreduceRing(data, op)
+		out = c.allreduceRing(data, op)
 	default:
-		return c.Bcast(0, c.Reduce(0, data, op))
+		alg = AllreduceRedBcast
+		out = c.Bcast(0, c.Reduce(0, data, op))
 	}
+	if rec != nil {
+		c.collEnd(allreduceAlgNames[alg], int64(alg), len(data), t0, w0)
+	}
+	return out
 }
 
 // Gather collects every member's data on root, which receives the
@@ -162,10 +178,19 @@ func (c *Comm) Gather(root int, data []byte) [][]byte {
 	if c.Size() > 1 {
 		c.collCheck()
 	}
-	if c.coll().gatherAlg(c.Size(), len(data)) == GatherBinomial && c.Size() > 1 {
-		return c.gatherBinomial(root, data)
+	rec, t0, w0 := c.collStart()
+	alg := c.coll().gatherAlg(c.Size(), len(data))
+	var out [][]byte
+	if alg == GatherBinomial && c.Size() > 1 {
+		out = c.gatherBinomial(root, data)
+	} else {
+		alg = GatherFlat
+		out = c.gatherFlat(root, data)
 	}
-	return c.gatherFlat(root, data)
+	if rec != nil {
+		c.collEnd(gatherAlgNames[alg], int64(alg), len(data), t0, w0)
+	}
+	return out
 }
 
 // Scatter distributes parts[r] from root to each member r and returns the
@@ -179,6 +204,7 @@ func (c *Comm) Scatter(root int, parts [][]byte) []byte {
 	if n > 1 {
 		c.collCheck()
 	}
+	rec, t0, w0 := c.collStart()
 	alg := c.coll().Scatter
 	if alg == ScatterAuto && n > 1 {
 		// Only the root sees the part sizes; its resolution travels down
@@ -195,10 +221,17 @@ func (c *Comm) Scatter(root int, parts [][]byte) []byte {
 		}
 		alg = c.scatterHeader(root, resolved)
 	}
+	var out []byte
 	if alg == ScatterBinomial && n > 1 {
-		return c.scatterBinomial(root, parts)
+		out = c.scatterBinomial(root, parts)
+	} else {
+		alg = ScatterFlat
+		out = c.scatterFlat(root, parts)
 	}
-	return c.scatterFlat(root, parts)
+	if rec != nil {
+		c.collEnd(scatterAlgNames[alg], int64(alg), len(out), t0, w0)
+	}
+	return out
 }
 
 // scatterFlat is the legacy scatter: the root sends each part directly.
@@ -315,11 +348,16 @@ func (c *Comm) ReduceScatter(parts [][]byte, op Op) []byte {
 	if len(parts) != n {
 		panic(fmt.Sprintf("mpi: ReduceScatter needs %d parts, got %d", n, len(parts)))
 	}
+	rec, t0, w0 := c.collStart()
 	if n > 1 {
 		c.collCheck()
 		c.reduceScatterValidate(parts)
 		if c.coll().reduceScatterAlg() == ReduceScatterPairwise {
-			return c.reduceScatterPairwise(parts, op)
+			out := c.reduceScatterPairwise(parts, op)
+			if rec != nil {
+				c.collEnd(reduceScatterAlgNames[ReduceScatterPairwise], int64(ReduceScatterPairwise), len(out), t0, w0)
+			}
+			return out
 		}
 	}
 	// Reduce the concatenation on rank 0, then scatter the slices.
@@ -343,5 +381,9 @@ func (c *Comm) ReduceScatter(parts [][]byte, op Op) []byte {
 			off += sizes[r]
 		}
 	}
-	return c.Scatter(0, scatterParts)
+	out := c.Scatter(0, scatterParts)
+	if rec != nil {
+		c.collEnd(reduceScatterAlgNames[ReduceScatterViaRoot], int64(ReduceScatterViaRoot), len(out), t0, w0)
+	}
+	return out
 }

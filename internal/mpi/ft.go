@@ -29,6 +29,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/trace"
 	"repro/internal/vclock"
 )
 
@@ -82,6 +83,13 @@ func Catch(f func()) (err error) {
 // a no-op.
 func (c *Comm) Revoke() {
 	c.p.world.revokeCtx(c.s.id)
+	if r := c.p.world.rec; r != nil {
+		now, wall := c.p.clock.Now(), r.NowNS()
+		r.Emit(c.p.rank, trace.Event{
+			Rank: int32(c.p.rank), Kind: trace.KindRevoke, Peer: -1, Ctx: c.s.id,
+			Start: now, End: now, WallStart: wall, WallEnd: wall,
+		})
+	}
 }
 
 // Revoked reports whether the communicator has been revoked.
@@ -102,6 +110,7 @@ func (c *Comm) Revoked() bool {
 // protocol needs.
 func (c *Comm) AgreeFailed() []int {
 	c.agreeSeq++
+	rec, t0, w0 := c.collStart()
 	key := ctxKey{parent: c.s.id, seq: c.agreeSeq}
 	failed, maxT := c.p.world.agree(key, c.s.members, c.p.rank, c.p.clock.Now())
 	// All participants leave with the same clock: the decision time plus
@@ -112,6 +121,13 @@ func (c *Comm) AgreeFailed() []int {
 		rounds := 2 * int(math.Ceil(math.Log2(float64(n))))
 		c.p.clock.Advance(vclock.Time(float64(rounds) * (link.Latency + 2*link.Overhead)))
 	}
+	if rec != nil {
+		rec.Emit(c.p.rank, trace.Event{
+			Rank: int32(c.p.rank), Kind: trace.KindAgree, Peer: -1, Ctx: c.s.id,
+			Start: t0, End: c.p.clock.Now(), WallStart: w0, WallEnd: rec.NowNS(),
+			A0: int64(len(failed)),
+		})
+	}
 	return failed
 }
 
@@ -120,6 +136,7 @@ func (c *Comm) AgreeFailed() []int {
 // Full functionality — collectives included — is restored on the result.
 // Collective over the surviving members of the communicator.
 func (c *Comm) Shrink() *Comm {
+	rec, t0, w0 := c.collStart()
 	failed := c.AgreeFailed()
 	dead := make(map[int]bool, len(failed))
 	for _, r := range failed {
@@ -136,6 +153,13 @@ func (c *Comm) Shrink() *Comm {
 			myRank = len(members)
 		}
 		members = append(members, r)
+	}
+	if rec != nil {
+		rec.Emit(c.p.rank, trace.Event{
+			Rank: int32(c.p.rank), Kind: trace.KindShrink, Peer: -1, Ctx: c.s.id,
+			Start: t0, End: c.p.clock.Now(), WallStart: w0, WallEnd: rec.NowNS(),
+			A0: int64(len(members)), A1: int64(len(failed)),
+		})
 	}
 	return &Comm{
 		p:      c.p,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/trace"
 	"repro/internal/vclock"
 )
 
@@ -259,6 +260,14 @@ func (c *Comm) sendCommon(dst, tag int, data []byte, copyBuf bool) vclock.Time {
 	if tr := p.world.trace; tr != nil {
 		tr.add(TraceEvent{Rank: p.rank, Kind: EventSend, Start: sendStart, End: end, Peer: dstW, Bytes: len(data), Tag: tag})
 	}
+	if r := p.world.rec; r != nil {
+		wall := r.NowNS()
+		r.Emit(p.rank, trace.Event{
+			Rank: int32(p.rank), Kind: trace.KindSend, Peer: int32(dstW),
+			Tag: int32(tag), Ctx: c.s.id, Bytes: int64(len(data)),
+			Start: sendStart, End: end, WallStart: wall, WallEnd: wall,
+		})
+	}
 	p.world.deliver(dstW, env)
 	return end
 }
@@ -442,6 +451,14 @@ func (c *Comm) finishRecvTiming(e *envelope, t0 vclock.Time) Status {
 	p.stats.MsgsRecv++
 	if tr := p.world.trace; tr != nil {
 		tr.add(TraceEvent{Rank: p.rank, Kind: EventRecv, Start: t0, End: p.clock.Now(), Peer: e.src, Bytes: len(e.data), Tag: e.tag})
+	}
+	if r := p.world.rec; r != nil {
+		wall := r.NowNS()
+		r.Emit(p.rank, trace.Event{
+			Rank: int32(p.rank), Kind: trace.KindRecv, Peer: int32(e.src),
+			Tag: int32(e.tag), Ctx: e.ctx, Bytes: int64(len(e.data)),
+			Start: t0, End: p.clock.Now(), WallStart: wall, WallEnd: wall,
+		})
 	}
 	return Status{Source: c.s.rankOf(e.src), Tag: e.tag, Bytes: len(e.data)}
 }

@@ -34,6 +34,7 @@ import (
 	"sync"
 
 	"repro/internal/hnoc"
+	"repro/internal/trace"
 	"repro/internal/vclock"
 )
 
@@ -89,6 +90,10 @@ type World struct {
 
 	// trace, when non-nil, records per-process activity intervals.
 	trace *Trace
+
+	// rec, when non-nil, is the structured event recorder of the
+	// observability subsystem (internal/trace); see recorder.go.
+	rec *trace.Recorder
 }
 
 type ctxKey struct {
@@ -396,6 +401,13 @@ func (p *Proc) Compute(units float64) {
 	p.stats.ComputeTime += end - start
 	if tr := p.world.trace; tr != nil {
 		tr.add(TraceEvent{Rank: p.rank, Kind: EventCompute, Start: start, End: end, Peer: -1})
+	}
+	if r := p.world.rec; r != nil {
+		wall := r.NowNS()
+		r.Emit(p.rank, trace.Event{
+			Rank: int32(p.rank), Kind: trace.KindCompute, Peer: -1,
+			Start: start, End: end, WallStart: wall, WallEnd: wall,
+		})
 	}
 	p.opTick()
 }

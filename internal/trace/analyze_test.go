@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinksMatrices(t *testing.T) {
+	d := &Data{
+		Meta: Meta{NRanks: 3},
+		PerRank: [][]Event{
+			{
+				{Rank: 0, Kind: KindSend, Peer: 1, Bytes: 100, Start: 0, End: 0},
+				{Rank: 0, Kind: KindSend, Peer: 1, Bytes: 50, Start: 1, End: 1},
+				{Rank: 0, Kind: KindSend, Peer: 2, Bytes: 7, Start: 2, End: 2},
+				// Non-send kinds and out-of-range peers must be ignored.
+				{Rank: 0, Kind: KindRecv, Peer: 1, Bytes: 999, Start: 3, End: 3},
+				{Rank: 0, Kind: KindCompute, Peer: -1, Start: 4, End: 5},
+			},
+			{{Rank: 1, Kind: KindSend, Peer: 0, Bytes: 10, Start: 0, End: 0}},
+			{},
+		},
+	}
+	m := Links(d)
+	if m.Bytes[0][1] != 150 || m.Messages[0][1] != 2 {
+		t.Errorf("link 0->1 = %d bytes / %d msgs, want 150/2", m.Bytes[0][1], m.Messages[0][1])
+	}
+	if m.Bytes[0][2] != 7 || m.Messages[0][2] != 1 {
+		t.Errorf("link 0->2 = %d/%d", m.Bytes[0][2], m.Messages[0][2])
+	}
+	if m.Bytes[1][0] != 10 || m.Messages[1][0] != 1 {
+		t.Errorf("link 1->0 = %d/%d", m.Bytes[1][0], m.Messages[1][0])
+	}
+	if m.Bytes[2][0] != 0 && m.Bytes[2][1] != 0 {
+		t.Error("idle rank has traffic")
+	}
+	var sb strings.Builder
+	if err := m.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "150") {
+		t.Errorf("render missing the 0->1 byte count:\n%s", sb.String())
+	}
+}
+
+func TestBreakdownMergesOverlaps(t *testing.T) {
+	d := &Data{
+		Meta: Meta{NRanks: 2},
+		PerRank: [][]Event{
+			{
+				{Rank: 0, Kind: KindCompute, Peer: -1, Start: 0, End: 1},
+				// Two overlapping comm intervals: union is [1, 3], 2 s.
+				{Rank: 0, Kind: KindSend, Peer: 1, Start: 1, End: 2.5},
+				{Rank: 0, Kind: KindRecv, Peer: 1, Start: 1.5, End: 3},
+			},
+			// Rank 1 sets the makespan to 4 and is otherwise idle.
+			{{Rank: 1, Kind: KindCompute, Peer: -1, Start: 3, End: 4}},
+		},
+	}
+	rows := Breakdown(d)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	r0 := rows[0]
+	if r0.Compute != 1 || r0.Comm != 2 || r0.Idle != 1 {
+		t.Errorf("rank 0 = compute %v comm %v idle %v, want 1/2/1", r0.Compute, r0.Comm, r0.Idle)
+	}
+	r1 := rows[1]
+	if r1.Compute != 1 || r1.Comm != 0 || r1.Idle != 3 {
+		t.Errorf("rank 1 = compute %v comm %v idle %v, want 1/0/3", r1.Compute, r1.Comm, r1.Idle)
+	}
+}
+
+func TestCoveredTime(t *testing.T) {
+	cases := []struct {
+		ivs  []interval
+		want float64
+	}{
+		{nil, 0},
+		{[]interval{{0, 1}}, 1},
+		{[]interval{{0, 1}, {2, 3}}, 2},
+		{[]interval{{0, 2}, {1, 3}}, 3},
+		{[]interval{{1, 3}, {0, 2}, {2, 5}}, 5},
+		{[]interval{{0, 1}, {0, 1}}, 1},
+	}
+	for i, c := range cases {
+		if got := coveredTime(append([]interval(nil), c.ivs...)); float64(got) != c.want {
+			t.Errorf("case %d: covered = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// TestCriticalPathCrossRank builds the classic two-rank chain: rank 0
+// computes then sends; rank 1's receive waits on that send, then rank 1
+// computes to the makespan. The path must cross ranks through the
+// send-recv edge and pick up all four activities.
+func TestCriticalPathCrossRank(t *testing.T) {
+	d := &Data{
+		Meta: Meta{NRanks: 2},
+		PerRank: [][]Event{
+			{
+				{Rank: 0, Kind: KindCompute, Peer: -1, Start: 0, End: 2},
+				{Rank: 0, Kind: KindSend, Peer: 1, Tag: 1, Ctx: 1, Bytes: 10, Start: 2, End: 2.5},
+			},
+			{
+				// An early short compute that is NOT on the path.
+				{Rank: 1, Kind: KindCompute, Peer: -1, Start: 0, End: 0.5},
+				{Rank: 1, Kind: KindRecv, Peer: 0, Tag: 1, Ctx: 1, Bytes: 10, Start: 0.5, End: 2.5},
+				{Rank: 1, Kind: KindCompute, Peer: -1, Start: 2.5, End: 4},
+			},
+		},
+	}
+	cp := ExtractCriticalPath(d)
+	if cp.Makespan != 4 {
+		t.Fatalf("makespan = %v, want 4", cp.Makespan)
+	}
+	kinds := make([]Kind, len(cp.Steps))
+	for i, s := range cp.Steps {
+		kinds[i] = s.Event.Kind
+	}
+	want := []Kind{KindCompute, KindSend, KindRecv, KindCompute}
+	if len(kinds) != len(want) {
+		t.Fatalf("path kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("path kinds = %v, want %v", kinds, want)
+		}
+	}
+	if cp.Steps[0].Event.Rank != 0 || cp.Steps[3].Event.Rank != 1 {
+		t.Error("path did not cross ranks through the send-recv edge")
+	}
+	if cp.ByKind[KindCompute] != 3.5 {
+		t.Errorf("compute on path = %v, want 3.5", cp.ByKind[KindCompute])
+	}
+	var sb strings.Builder
+	if err := cp.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "4 steps") {
+		t.Errorf("render:\n%s", sb.String())
+	}
+}
+
+// TestCriticalPathSelfSend guards the cycle guard: a rank that sends to
+// itself and then receives it must not loop the walk forever.
+func TestCriticalPathSelfSend(t *testing.T) {
+	d := &Data{
+		Meta: Meta{NRanks: 1},
+		PerRank: [][]Event{
+			{
+				{Rank: 0, Kind: KindSend, Peer: 0, Tag: 1, Ctx: 1, Bytes: 4, Start: 0, End: 0.5},
+				{Rank: 0, Kind: KindRecv, Peer: 0, Tag: 1, Ctx: 1, Bytes: 4, Start: 0.5, End: 1},
+			},
+		},
+	}
+	cp := ExtractCriticalPath(d)
+	if len(cp.Steps) != 2 || cp.Makespan != 1 {
+		t.Fatalf("self-send path: %d steps makespan %v", len(cp.Steps), cp.Makespan)
+	}
+}
+
+func TestCriticalPathEmpty(t *testing.T) {
+	cp := ExtractCriticalPath(&Data{Meta: Meta{NRanks: 1}, PerRank: [][]Event{{}}})
+	if len(cp.Steps) != 0 || cp.Makespan != 0 {
+		t.Fatalf("empty path: %+v", cp)
+	}
+	var sb strings.Builder
+	if err := cp.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no activity") {
+		t.Errorf("render: %q", sb.String())
+	}
+}

@@ -1,0 +1,313 @@
+package trace
+
+// Compact binary trace format. A trace file is self-contained: it embeds
+// the run metadata (cluster, placement, app labels) so hmpitrace can
+// analyse it without the live runtime. Layout, all integers little-endian:
+//
+//	magic   "HMPT"                       4 bytes
+//	version u32 (currently 1)
+//	metaLen u32, meta JSON               the Meta document
+//	nstr    u32, then per string:        event-name string table
+//	          len u32, bytes
+//	nranks  u32, then per rank:
+//	          nev u32, then nev events   fixed 93-byte records
+//
+// Each event record serialises every Event field in declaration order;
+// Name travels as an index into the string table (hot paths set Name only
+// to constant strings, so the table stays tiny). Virtual times are
+// float64 bit patterns: a write/read round trip is bit-exact, which keeps
+// the deterministic-timestamp guarantees of the exporters intact.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/vclock"
+)
+
+// vclockTime reconstructs a virtual timestamp from its float64 bit
+// pattern, the inverse of the writer's encoding.
+func vclockTime(bits int64) vclock.Time {
+	return vclock.Time(math.Float64frombits(uint64(bits)))
+}
+
+var binaryMagic = [4]byte{'H', 'M', 'P', 'T'}
+
+// binaryVersion is the current format version.
+const binaryVersion = 1
+
+// maxBinarySection caps the declared size of variable-length sections so
+// a corrupt header cannot drive allocation to gigabytes.
+const maxBinarySection = 1 << 30
+
+// WriteBinary serialises the snapshot in the compact binary format.
+func WriteBinary(w io.Writer, d *Data) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var scratch [8]byte
+	u32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, err := bw.Write(scratch[:4])
+		return err
+	}
+	i64 := func(v int64) error {
+		binary.LittleEndian.PutUint64(scratch[:], uint64(v))
+		_, err := bw.Write(scratch[:])
+		return err
+	}
+	if err := u32(binaryVersion); err != nil {
+		return err
+	}
+	meta, err := json.Marshal(&d.Meta)
+	if err != nil {
+		return err
+	}
+	if err := u32(uint32(len(meta))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(meta); err != nil {
+		return err
+	}
+	// String table: names in first-appearance order; index 0 is "".
+	names := []string{""}
+	nameIdx := map[string]uint32{"": 0}
+	for _, evs := range d.PerRank {
+		for i := range evs {
+			if _, ok := nameIdx[evs[i].Name]; !ok {
+				nameIdx[evs[i].Name] = uint32(len(names))
+				names = append(names, evs[i].Name)
+			}
+		}
+	}
+	if err := u32(uint32(len(names))); err != nil {
+		return err
+	}
+	for _, s := range names {
+		if err := u32(uint32(len(s))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(s); err != nil {
+			return err
+		}
+	}
+	if err := u32(uint32(len(d.PerRank))); err != nil {
+		return err
+	}
+	for _, evs := range d.PerRank {
+		if err := u32(uint32(len(evs))); err != nil {
+			return err
+		}
+		for i := range evs {
+			e := &evs[i]
+			if err := u32(uint32(e.Rank)); err != nil {
+				return err
+			}
+			if err := bw.WriteByte(byte(e.Kind)); err != nil {
+				return err
+			}
+			if err := u32(uint32(e.Peer)); err != nil {
+				return err
+			}
+			if err := u32(uint32(e.Tag)); err != nil {
+				return err
+			}
+			for _, v := range [...]int64{
+				e.Ctx, e.Bytes,
+				int64(math.Float64bits(float64(e.Start))),
+				int64(math.Float64bits(float64(e.End))),
+				e.WallStart, e.WallEnd,
+			} {
+				if err := i64(v); err != nil {
+					return err
+				}
+			}
+			if err := u32(nameIdx[e.Name]); err != nil {
+				return err
+			}
+			for _, v := range [...]int64{e.A0, e.A1, e.A2, e.A3} {
+				if err := i64(v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a trace written by WriteBinary.
+func ReadBinary(r io.Reader) (*Data, error) {
+	br := bufio.NewReader(r)
+	var scratch [8]byte
+	u32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:4]), nil
+	}
+	i64 := func() (int64, error) {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return 0, err
+		}
+		return int64(binary.LittleEndian.Uint64(scratch[:])), nil
+	}
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("trace: not a binary trace file (magic %q)", magic[:])
+	}
+	version, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("trace: unsupported format version %d (have %d)", version, binaryVersion)
+	}
+	metaLen, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if metaLen > maxBinarySection {
+		return nil, fmt.Errorf("trace: corrupt meta length %d", metaLen)
+	}
+	metaBuf := make([]byte, metaLen)
+	if _, err := io.ReadFull(br, metaBuf); err != nil {
+		return nil, err
+	}
+	d := &Data{}
+	if err := json.Unmarshal(metaBuf, &d.Meta); err != nil {
+		return nil, fmt.Errorf("trace: corrupt meta: %w", err)
+	}
+	nstr, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if nstr > maxBinarySection/4 {
+		return nil, fmt.Errorf("trace: corrupt string table size %d", nstr)
+	}
+	names := make([]string, nstr)
+	for i := range names {
+		n, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		if n > maxBinarySection {
+			return nil, fmt.Errorf("trace: corrupt string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		names[i] = string(buf)
+	}
+	nranks, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if nranks > maxBinarySection/4 {
+		return nil, fmt.Errorf("trace: corrupt rank count %d", nranks)
+	}
+	d.PerRank = make([][]Event, nranks)
+	for rk := range d.PerRank {
+		nev, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		if nev > maxBinarySection/8 {
+			return nil, fmt.Errorf("trace: corrupt event count %d", nev)
+		}
+		evs := make([]Event, nev)
+		for i := range evs {
+			e := &evs[i]
+			rank, err := u32()
+			if err != nil {
+				return nil, err
+			}
+			e.Rank = int32(rank)
+			kind, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			e.Kind = Kind(kind)
+			peer, err := u32()
+			if err != nil {
+				return nil, err
+			}
+			e.Peer = int32(peer)
+			tag, err := u32()
+			if err != nil {
+				return nil, err
+			}
+			e.Tag = int32(tag)
+			for _, dst := range [...]*int64{&e.Ctx, &e.Bytes} {
+				if *dst, err = i64(); err != nil {
+					return nil, err
+				}
+			}
+			startBits, err := i64()
+			if err != nil {
+				return nil, err
+			}
+			endBits, err := i64()
+			if err != nil {
+				return nil, err
+			}
+			e.Start = vclockTime(startBits)
+			e.End = vclockTime(endBits)
+			for _, dst := range [...]*int64{&e.WallStart, &e.WallEnd} {
+				if *dst, err = i64(); err != nil {
+					return nil, err
+				}
+			}
+			idx, err := u32()
+			if err != nil {
+				return nil, err
+			}
+			if int(idx) >= len(names) {
+				return nil, fmt.Errorf("trace: event name index %d outside table of %d", idx, len(names))
+			}
+			e.Name = names[idx]
+			for _, dst := range [...]*int64{&e.A0, &e.A1, &e.A2, &e.A3} {
+				if *dst, err = i64(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		d.PerRank[rk] = evs
+	}
+	if d.Meta.NRanks == 0 {
+		d.Meta.NRanks = int(nranks)
+	}
+	return d, nil
+}
+
+// WriteFile writes the snapshot to path in the binary format.
+func (d *Data) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a binary trace from path.
+func ReadFile(path string) (*Data, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// testData builds a snapshot that exercises every Event field, including
+// the awkward values: negative peer, empty and repeated names, float bit
+// patterns in aux fields, sub-nanosecond virtual times.
+func testData() *Data {
+	return &Data{
+		Meta: Meta{
+			App:       "unit",
+			Labels:    map[string]string{"run": "1"},
+			NRanks:    2,
+			Placement: []int{0, 1},
+			Cluster:   json.RawMessage(`{"machines":2}`),
+		},
+		PerRank: [][]Event{
+			{
+				{Rank: 0, Kind: KindCompute, Peer: -1, Start: 0, End: 0.1234567890123},
+				{Rank: 0, Kind: KindSend, Peer: 1, Tag: 7, Ctx: 42, Bytes: 1000, Start: 0.2, End: 0.2, WallStart: 5, WallEnd: 5},
+				{Rank: 0, Kind: KindColl, Peer: -1, Ctx: 1, Bytes: 64, Name: "allreduce/ring", Start: 0.3, End: 0.5, A0: 2},
+				{Rank: 0, Kind: KindPredict, Peer: -1, Name: "phase", Start: 0.6, End: 0.6, A0: FloatBits(0.125)},
+			},
+			{
+				{Rank: 1, Kind: KindRecv, Peer: 0, Tag: 7, Ctx: 42, Bytes: 1000, Start: 0.15, End: 0.25},
+				{Rank: 1, Kind: KindColl, Peer: -1, Ctx: 1, Bytes: 64, Name: "allreduce/ring", Start: 0.3, End: 0.5, A0: 2},
+				{Rank: 1, Kind: KindRegion, Peer: -1, Name: "phase", Start: 0.1, End: 0.9, WallStart: 1, WallEnd: 99},
+			},
+		},
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	d := testData()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.PerRank, d.PerRank) {
+		t.Errorf("events changed across round trip:\n got %+v\nwant %+v", got.PerRank, d.PerRank)
+	}
+	if got.Meta.App != d.Meta.App || got.Meta.NRanks != d.Meta.NRanks {
+		t.Errorf("meta changed: %+v", got.Meta)
+	}
+	if !reflect.DeepEqual(got.Meta.Placement, d.Meta.Placement) {
+		t.Errorf("placement changed: %v", got.Meta.Placement)
+	}
+}
+
+func TestBinaryFileRoundTrip(t *testing.T) {
+	d := testData()
+	path := filepath.Join(t.TempDir(), "run.trace")
+	if err := d.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.PerRank, d.PerRank) {
+		t.Error("file round trip changed events")
+	}
+}
+
+func TestBinaryRejectsBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("NOPE00000000"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestBinaryRejectsBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, testData()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 99 // version byte (little-endian u32 after the magic)
+	if _, err := ReadBinary(bytes.NewReader(b)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestBinaryRejectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, testData()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	for _, n := range []int{3, 8, len(b) / 2, len(b) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(b[:n])); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestBinaryEmptyTrace(t *testing.T) {
+	d := &Data{Meta: Meta{NRanks: 1}, PerRank: [][]Event{{}}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRanks() != 1 || len(got.PerRank[0]) != 0 {
+		t.Fatalf("empty trace round trip: %+v", got)
+	}
+}
