@@ -11,11 +11,26 @@
 //	hmpirun -app matmul -mode both -cluster mynet.json
 //	hmpirun -app em3d -chaos "2@0.5;4@1.2"
 //	hmpirun -app matmul -chaos "rand:k=2,seed=42,tmax=1.0"
+//	hmpirun -app em3d -chaos "link:2-5@0.3+0.4:drop=0.2" -degrade
+//	hmpirun -app em3d -chaos "part:{0,1,2}|{3..8}@0.5+0.2"
 //
 // The cluster defaults to the paper's nine-workstation network; -cluster
-// loads a JSON configuration (see hnoc.Cluster). -chaos injects process
-// failures from a deterministic schedule and runs the application under
-// the self-healing harness (see the chaos and hmpi packages).
+// loads a JSON configuration (see hnoc.Cluster). -chaos injects faults
+// from a deterministic schedule and runs the application under the
+// self-healing harness (see the chaos and hmpi packages). The grammar,
+// ';'-separated (t in seconds of virtual time, probabilities in [0,1]):
+//
+//	R@T                            kill rank R at time T
+//	rand:k=K,seed=S,tmax=T         K random kills drawn from seed S
+//	link:A-B@T[+D]:p=v[,p=v...]    fault the A-B link from T (for D, or
+//	                               forever): drop=, dup=, delay=, jitter=
+//	randlink:k=K,seed=S,...        K random link faults from a template
+//	part:{..}|{..}@T+D             partition the two rank sets for D
+//
+// Link faults are injected at the frame layer with retransmission armed
+// (seeded by -chaos-seed, bit-for-bit reproducible); -degrade
+// additionally lets the runtime fold chronically lossy links into the
+// cost model and reselect the group around them.
 package main
 
 import (
@@ -51,7 +66,9 @@ func main() {
 	traceFile := flag.String("tracefile", "", "record a structured event trace and write it to this file (binary; analyse with hmpitrace)")
 	metricsFile := flag.String("metrics", "", "write a metrics-registry snapshot of the recorded run to this JSON file")
 	chaosSpec := flag.String("chaos", "",
-		`fault schedule, e.g. "2@0.5;4@1.2" or "rand:k=2,seed=42,tmax=1.0"; runs the app under the self-healing harness`)
+		`fault schedule, e.g. "2@0.5;4@1.2", "link:2-5@0.3:drop=0.2" or "part:{0,1}|{2..8}@0.5+0.2"; runs the app under the self-healing harness`)
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the probabilistic link-fault draws (reproducible per seed)")
+	degrade := flag.Bool("degrade", false, "fold chronically lossy links into the cost model and reselect the group around them (needs -chaos link faults)")
 	flag.Parse()
 
 	if (*traceFile != "" || *metricsFile != "") && *mode == "both" && *chaosSpec == "" {
@@ -123,22 +140,29 @@ func main() {
 		}
 		lastTrace = nil
 	}
-	// armChaos parses the -chaos spec and attaches it to the runtime's
-	// world; each kill is reported as it fires.
+	// armChaos parses the -chaos spec and arms it on the runtime's world:
+	// kills attach to the virtual clock, link faults install the seeded
+	// frame filter with retransmission. Each kill is reported as it fires.
 	armChaos := func(rt *hmpi.Runtime) {
 		sched, err := chaos.Parse(*chaosSpec, rt.World().Size())
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("chaos: schedule %q\n", sched)
-		if err := sched.Attach(rt.World(), func(e chaos.Event) {
+		fmt.Printf("chaos: schedule %q seed %d\n", sched, *chaosSeed)
+		if err := sched.Arm(rt.World(), *chaosSeed, func(e chaos.Event) {
 			fmt.Printf("chaos: rank %d killed at t=%.6gs\n", e.Rank, float64(e.At))
 		}); err != nil {
 			fatal(err)
 		}
+		if *degrade {
+			rt.EnableDegradation(hmpi.DefaultDegradationPolicy())
+		}
 	}
 	if *chaosSpec != "" && *mode == "mpi" {
 		fatal(errors.New("-chaos needs the HMPI mode: the plain MPI baseline has no recovery"))
+	}
+	if *degrade && *chaosSpec == "" {
+		fatal(errors.New("-degrade reacts to link faults; give it some with -chaos"))
 	}
 
 	switch *app {
@@ -157,6 +181,7 @@ func main() {
 			}
 			fmt.Printf("em3d hmpi+chaos: time %.6gs work %.6gs recovery %.6gs attempts %d selection %v\n",
 				float64(res.Time), float64(res.WorkTime), float64(res.Recovery), res.Attempts, res.Selection)
+			reportDegraded(rt)
 			printTrace("em3d hmpi+chaos", len(cluster.Machines))
 			return
 		}
@@ -194,6 +219,7 @@ func main() {
 			}
 			fmt.Printf("matmul hmpi+chaos: time %.6gs work %.6gs recovery %.6gs attempts %d l=%d selection %v\n",
 				float64(res.Time), float64(res.WorkTime), float64(res.Recovery), res.Attempts, res.L, res.Selection)
+			reportDegraded(rt)
 			printTrace("matmul hmpi+chaos", len(cluster.Machines))
 			return
 		}
@@ -260,6 +286,14 @@ func candidateBlockSizes(m, n int) []int {
 		out = append(out, n)
 	}
 	return out
+}
+
+// reportDegraded prints the machine pairs the degradation policy folded
+// into the cost model, if any.
+func reportDegraded(rt *hmpi.Runtime) {
+	if pairs := rt.DegradedPairs(); len(pairs) > 0 {
+		fmt.Printf("chaos: degraded machine pairs %v (cost model updated, group reselected)\n", pairs)
+	}
 }
 
 func fatal(err error) {

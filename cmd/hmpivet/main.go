@@ -29,6 +29,7 @@ import (
 	"repro/internal/analysis/groupfree"
 	"repro/internal/analysis/modelcheck"
 	"repro/internal/analysis/reconpure"
+	"repro/internal/analysis/retrycontract"
 	"repro/internal/analysis/tagconst"
 	"repro/internal/analysis/tracescope"
 	"repro/internal/pmdl"
@@ -39,6 +40,7 @@ var all = []*analysis.Analyzer{
 	ftcontract.Analyzer,
 	groupfree.Analyzer,
 	reconpure.Analyzer,
+	retrycontract.Analyzer,
 	tagconst.Analyzer,
 	tracescope.Analyzer,
 }

@@ -1,0 +1,187 @@
+// Package retrycontract checks the degraded-network error contract at
+// resilient-send sites. SendResilient and RecvResilient surface delivery
+// failures as errors whose kind distinguishes a crashed peer
+// (FailureCrash: recover with Shrink/GroupRecreate) from a suspected
+// partition (FailurePartition: the peer is alive behind a bad link —
+// retry, reroute, or let the degradation policy rebuild the group).
+// Collapsing the two into a generic error loses the distinction the
+// retransmit path went to some trouble to make: treating a partition as a
+// crash abandons a live peer; treating a crash as a partition retries
+// forever.
+//
+// The contract: the error result of a resilient call must be consumed —
+// not discarded — and the consuming function must either inspect the
+// failure kind (FailureKindOf, IsPartitionError, or an errors.As against
+// *ProcessFailedError, whose Kind field carries it) or propagate the
+// error to its caller undisturbed (a return keeps the chain intact for a
+// caller to inspect).
+//
+// Two findings:
+//
+//   - a resilient call whose error result is discarded (an expression
+//     statement, or assignment to the blank identifier), reported at the
+//     call;
+//   - a resilient call whose error is handled in-function without any
+//     kind inspection and without propagating it, reported at the call.
+package retrycontract
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the retrycontract check.
+var Analyzer = &analysis.Analyzer{
+	Name: "retrycontract",
+	Doc:  "report resilient send/recv calls whose partition-vs-crash failure kind is discarded",
+	Run:  run,
+}
+
+// resilientOps are the retransmit-path entry points returning a
+// kind-carrying error.
+var resilientOps = map[string]bool{
+	"SendResilient": true,
+	"RecvResilient": true,
+}
+
+// kindConsumers are the inspections that consume the failure kind.
+var kindConsumers = map[string]bool{
+	"FailureKindOf":    true,
+	"IsPartitionError": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+// funcFacts is what one function does with its resilient errors.
+type funcFacts struct {
+	consumesKind bool            // calls FailureKindOf/IsPartitionError or errors.As(*ProcessFailedError)
+	errVars      map[string]bool // variables bound to a resilient call's error result
+	propagated   map[string]bool // error variables that appear in a return statement
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	facts := &funcFacts{errVars: map[string]bool{}, propagated: map[string]bool{}}
+	var discarded, handled []*ast.CallExpr
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ExprStmt:
+			// A bare resilient call: its error vanishes on the spot.
+			if call, ok := x.X.(*ast.CallExpr); ok && isResilient(call) {
+				discarded = append(discarded, call)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isResilient(call) {
+					continue
+				}
+				// The error is the last result; with one Rhs per Lhs-tuple
+				// the error identifier is the final Lhs.
+				errIdx := len(x.Lhs) - 1
+				if len(x.Rhs) != 1 {
+					errIdx = i
+				}
+				if errIdx < 0 || errIdx >= len(x.Lhs) {
+					continue
+				}
+				if id, ok := x.Lhs[errIdx].(*ast.Ident); ok {
+					if id.Name == "_" {
+						discarded = append(discarded, call)
+					} else {
+						facts.errVars[id.Name] = true
+						handled = append(handled, call)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				ast.Inspect(res, func(n ast.Node) bool {
+					if id, ok := n.(*ast.Ident); ok && facts.errVars[id.Name] {
+						facts.propagated[id.Name] = true
+					}
+					return true
+				})
+			}
+		case *ast.CallExpr:
+			if name := calleeName(x); kindConsumers[name] {
+				facts.consumesKind = true
+			}
+			if calleeName(x) == "As" && len(x.Args) == 2 && mentionsProcessFailed(x.Args[1]) {
+				facts.consumesKind = true
+			}
+		case *ast.SelectorExpr:
+			// Reading a Kind field (the errors.As-then-pf.Kind idiom)
+			// consumes the distinction directly.
+			if x.Sel.Name == "Kind" {
+				facts.consumesKind = true
+			}
+		}
+		return true
+	})
+
+	for _, call := range discarded {
+		pass.Reportf(call.Pos(),
+			"%s error discarded; consume the failure kind (FailureKindOf/IsPartitionError) or propagate the error", calleeName(call))
+	}
+	if facts.consumesKind {
+		return
+	}
+	// No kind inspection anywhere in the function: every resilient error
+	// must then leave through a return for a caller to inspect.
+	allPropagated := len(facts.errVars) > 0
+	for v := range facts.errVars {
+		if !facts.propagated[v] {
+			allPropagated = false
+		}
+	}
+	if allPropagated {
+		return
+	}
+	for _, call := range handled {
+		pass.Reportf(call.Pos(),
+			"%s error handled without consuming the failure kind; partition and crash need different recoveries (FailureKindOf/IsPartitionError)", calleeName(call))
+	}
+}
+
+// isResilient reports whether the call targets a resilient entry point.
+func isResilient(call *ast.CallExpr) bool {
+	return resilientOps[calleeName(call)]
+}
+
+// calleeName extracts the bare called name from an identifier or selector.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// mentionsProcessFailed reports whether the expression names the
+// ProcessFailedError type (the errors.As target whose Kind field carries
+// the failure kind).
+func mentionsProcessFailed(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == "ProcessFailedError" {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,13 @@
+package retrycontract_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/retrycontract"
+)
+
+func TestRetryContract(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), retrycontract.Analyzer)
+}

@@ -1,0 +1,94 @@
+// Fixture for the retrycontract analyzer; parse-only mimic of the mpi
+// resilient-send surface.
+package a
+
+import "errors"
+
+type FailureKind int
+
+const (
+	FailureCrash FailureKind = iota
+	FailurePartition
+)
+
+type ProcessFailedError struct {
+	Rank int
+	Kind FailureKind
+}
+
+func (e *ProcessFailedError) Error() string { return "process failed" }
+
+type Status struct{}
+
+type Comm struct{}
+
+func (c *Comm) SendResilient(dst, tag int, data []byte) error { return nil }
+func (c *Comm) RecvResilient(src, tag int) ([]byte, Status, error) {
+	return nil, Status{}, nil
+}
+func (c *Comm) Send(dst, tag int, data []byte) {}
+
+func FailureKindOf(err error) (FailureKind, bool) { return 0, false }
+func IsPartitionError(err error) bool             { return false }
+
+func retryElsewhere(c *Comm, dst int) {}
+
+// Good: the error's kind is inspected before reacting.
+func consumesKind(c *Comm) {
+	if err := c.SendResilient(1, 7, nil); err != nil {
+		if IsPartitionError(err) {
+			retryElsewhere(c, 1)
+			return
+		}
+		return
+	}
+}
+
+// Good: FailureKindOf consumes the kind.
+func consumesKindOf(c *Comm) {
+	err := c.SendResilient(1, 7, nil)
+	if kind, ok := FailureKindOf(err); ok && kind == FailurePartition {
+		retryElsewhere(c, 1)
+	}
+}
+
+// Good: errors.As into *ProcessFailedError and a Kind read.
+func consumesViaErrorsAs(c *Comm) {
+	_, _, err := c.RecvResilient(0, 7)
+	var pf *ProcessFailedError
+	if errors.As(err, &pf) && pf.Kind == FailurePartition {
+		retryElsewhere(c, 0)
+	}
+}
+
+// Good: the error is propagated untouched; the caller inspects it.
+func propagates(c *Comm) error {
+	if err := c.SendResilient(1, 7, nil); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Bad: the error vanishes on the spot.
+func discardsBare(c *Comm) {
+	c.SendResilient(1, 7, nil) // want "error discarded"
+}
+
+// Bad: blank assignment is the same discard.
+func discardsBlank(c *Comm) {
+	_ = c.SendResilient(1, 7, nil) // want "error discarded"
+}
+
+// Bad: the receive's error lands in the blank identifier.
+func discardsRecvError(c *Comm) {
+	data, _, _ := c.RecvResilient(0, 7) // want "error discarded"
+	_ = data
+}
+
+// Bad: handled as a generic error — partition and crash get the same
+// reaction, so the kind the retransmit path established is lost.
+func collapsesKinds(c *Comm) {
+	if err := c.SendResilient(1, 7, nil); err != nil { // want "without consuming the failure kind"
+		c.Send(2, 7, nil)
+	}
+}

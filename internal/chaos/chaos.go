@@ -32,94 +32,155 @@ type Event struct {
 	At vclock.Time
 }
 
-// Schedule is a deterministic fault plan: a set of kill events. The zero
-// value is an empty schedule (no failures).
+// Schedule is a deterministic fault plan: kill events plus link faults
+// (per-link delay/drop/duplication windows) and timed partitions. The
+// zero value is an empty schedule (no failures).
 type Schedule struct {
 	Events []Event
+	Links  []LinkFault
+	Parts  []Partition
 }
 
 // String renders the schedule in the spec format Parse accepts.
 func (s *Schedule) String() string {
-	parts := make([]string, len(s.Events))
-	for i, e := range s.Events {
-		parts[i] = fmt.Sprintf("%d@%g", e.Rank, float64(e.At))
+	parts := make([]string, 0, len(s.Events)+len(s.Links)+len(s.Parts))
+	for _, e := range s.Events {
+		parts = append(parts, fmt.Sprintf("%d@%g", e.Rank, float64(e.At)))
+	}
+	for _, l := range s.Links {
+		parts = append(parts, l.String())
+	}
+	for _, p := range s.Parts {
+		parts = append(parts, p.String())
 	}
 	return strings.Join(parts, ";")
 }
 
-// Parse builds a schedule from a spec string. Two forms are accepted:
+// Parse builds a schedule from a ';'-separated spec string. Segment forms:
 //
-//	"3@0.5;5@1.2"                 kill rank 3 at t=0.5s, rank 5 at t=1.2s
-//	"rand:k=2,seed=42,tmax=1.0"   kill k random non-host ranks, each at a
-//	                              seeded-random time in (0, tmax]
+//	"3@0.5"                          kill rank 3 at t=0.5s
+//	"rand:k=2,seed=42,tmax=1.0"      kill k random non-host ranks, each at
+//	                                 a seeded-random time in (0, tmax]
+//	"link:2-5@0.3+0.4:drop=0.2"      fault the 2<->5 link from t=0.3 for
+//	                                 0.4s: drop= / dup= probabilities,
+//	                                 delay= fixed extra seconds, jitter=
+//	                                 uniform extra in [0, jitter)
+//	"part:{0,1,2}|{3..8}@0.5+0.2"    partition the two rank sets from
+//	                                 t=0.5 for 0.2s (all crossing frames
+//	                                 dropped for the window)
+//	"randlink:k=3,seed=7,tmax=1.0,dur=0.3,drop=0.2"
+//	                                 k seeded-random link faults, each on a
+//	                                 random rank pair at a random start in
+//	                                 (0, tmax] (dup=/delay=/jitter= also
+//	                                 accepted and copied to every fault)
 //
-// worldSize bounds the ranks. Events are returned sorted by time. An empty
-// spec yields an empty schedule.
+// worldSize bounds the ranks. Events, links and partitions are returned
+// sorted by time. An empty spec yields an empty schedule.
 func Parse(spec string, worldSize int) (*Schedule, error) {
 	spec = strings.TrimSpace(spec)
+	s := &Schedule{}
 	if spec == "" {
-		return &Schedule{}, nil
+		return s, nil
 	}
-	if rest, ok := strings.CutPrefix(spec, "rand:"); ok {
-		k, seed, tmax := 1, int64(1), 1.0
-		for _, kv := range strings.Split(rest, ",") {
-			key, val, found := strings.Cut(strings.TrimSpace(kv), "=")
-			if !found {
-				return nil, fmt.Errorf("chaos: bad random spec element %q (want key=value)", kv)
-			}
-			switch key {
-			case "k":
-				v, err := strconv.Atoi(val)
-				if err != nil {
-					return nil, fmt.Errorf("chaos: bad k: %v", err)
-				}
-				k = v
-			case "seed":
-				v, err := strconv.ParseInt(val, 10, 64)
-				if err != nil {
-					return nil, fmt.Errorf("chaos: bad seed: %v", err)
-				}
-				seed = v
-			case "tmax":
-				v, err := strconv.ParseFloat(val, 64)
-				if err != nil {
-					return nil, fmt.Errorf("chaos: bad tmax: %v", err)
-				}
-				tmax = v
-			default:
-				return nil, fmt.Errorf("chaos: unknown random spec key %q", key)
-			}
-		}
-		return Random(k, seed, tmax, worldSize)
-	}
-	var s Schedule
 	for _, part := range strings.Split(spec, ";") {
 		part = strings.TrimSpace(part)
 		if part == "" {
 			continue
 		}
-		rankStr, atStr, found := strings.Cut(part, "@")
-		if !found {
-			return nil, fmt.Errorf("chaos: bad event %q (want rank@time)", part)
+		switch {
+		case strings.HasPrefix(part, "rand:"):
+			r, err := parseRandKills(strings.TrimPrefix(part, "rand:"), worldSize)
+			if err != nil {
+				return nil, err
+			}
+			s.Events = append(s.Events, r.Events...)
+		case strings.HasPrefix(part, "randlink:"):
+			links, err := parseRandLinks(strings.TrimPrefix(part, "randlink:"), worldSize)
+			if err != nil {
+				return nil, err
+			}
+			s.Links = append(s.Links, links...)
+		case strings.HasPrefix(part, "link:"):
+			l, err := parseLinkFault(strings.TrimPrefix(part, "link:"), worldSize)
+			if err != nil {
+				return nil, err
+			}
+			s.Links = append(s.Links, l)
+		case strings.HasPrefix(part, "part:"):
+			p, err := parsePartition(strings.TrimPrefix(part, "part:"), worldSize)
+			if err != nil {
+				return nil, err
+			}
+			s.Parts = append(s.Parts, p)
+		default:
+			e, err := parseKill(part, worldSize)
+			if err != nil {
+				return nil, err
+			}
+			s.Events = append(s.Events, e)
 		}
-		rank, err := strconv.Atoi(strings.TrimSpace(rankStr))
-		if err != nil {
-			return nil, fmt.Errorf("chaos: bad rank in %q: %v", part, err)
-		}
-		at, err := strconv.ParseFloat(strings.TrimSpace(atStr), 64)
-		if err != nil {
-			return nil, fmt.Errorf("chaos: bad time in %q: %v", part, err)
-		}
-		if rank < 0 || rank >= worldSize {
-			return nil, fmt.Errorf("chaos: rank %d outside world of size %d", rank, worldSize)
-		}
-		if at < 0 {
-			return nil, fmt.Errorf("chaos: negative kill time in %q", part)
-		}
-		s.Events = append(s.Events, Event{Rank: rank, At: vclock.Time(at)})
 	}
 	sortEvents(s.Events)
-	return &s, nil
+	sortLinks(s.Links)
+	sortParts(s.Parts)
+	return s, nil
+}
+
+// parseKill parses one "rank@time" kill segment.
+func parseKill(part string, worldSize int) (Event, error) {
+	rankStr, atStr, found := strings.Cut(part, "@")
+	if !found {
+		return Event{}, fmt.Errorf("chaos: bad event %q (want rank@time)", part)
+	}
+	rank, err := strconv.Atoi(strings.TrimSpace(rankStr))
+	if err != nil {
+		return Event{}, fmt.Errorf("chaos: bad rank in %q: %v", part, err)
+	}
+	at, err := strconv.ParseFloat(strings.TrimSpace(atStr), 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("chaos: bad time in %q: %v", part, err)
+	}
+	if rank < 0 || rank >= worldSize {
+		return Event{}, fmt.Errorf("chaos: rank %d outside world of size %d", rank, worldSize)
+	}
+	if at < 0 {
+		return Event{}, fmt.Errorf("chaos: negative kill time in %q", part)
+	}
+	return Event{Rank: rank, At: vclock.Time(at)}, nil
+}
+
+// parseRandKills parses the key=value tail of a "rand:" segment.
+func parseRandKills(rest string, worldSize int) (*Schedule, error) {
+	k, seed, tmax := 1, int64(1), 1.0
+	for _, kv := range strings.Split(rest, ",") {
+		key, val, found := strings.Cut(strings.TrimSpace(kv), "=")
+		if !found {
+			return nil, fmt.Errorf("chaos: bad random spec element %q (want key=value)", kv)
+		}
+		switch key {
+		case "k":
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bad k: %v", err)
+			}
+			k = v
+		case "seed":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bad seed: %v", err)
+			}
+			seed = v
+		case "tmax":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bad tmax: %v", err)
+			}
+			tmax = v
+		default:
+			return nil, fmt.Errorf("chaos: unknown random spec key %q", key)
+		}
+	}
+	return Random(k, seed, tmax, worldSize)
 }
 
 // Random builds a schedule killing k distinct non-host ranks (the host,

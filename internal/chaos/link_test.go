@@ -1,0 +1,322 @@
+package chaos
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/vclock"
+)
+
+func TestParseLinkFault(t *testing.T) {
+	s, err := Parse("link:5-2@0.3+0.4:drop=0.2,delay=0.01", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []LinkFault{{A: 2, B: 5, From: 0.3, Dur: 0.4, Drop: 0.2, Delay: 0.01}}
+	if !reflect.DeepEqual(s.Links, want) {
+		t.Fatalf("Links = %+v, want %+v (endpoints normalised low-high)", s.Links, want)
+	}
+	if !s.HasLinkFaults() {
+		t.Fatal("HasLinkFaults = false for a schedule with a link fault")
+	}
+}
+
+func TestParsePartition(t *testing.T) {
+	s, err := Parse("part:{0,1,2}|{3..8}@0.5+0.2", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Partition{{SideA: []int{0, 1, 2}, SideB: []int{3, 4, 5, 6, 7, 8}, From: 0.5, Dur: 0.2}}
+	if !reflect.DeepEqual(s.Parts, want) {
+		t.Fatalf("Parts = %+v, want %+v", s.Parts, want)
+	}
+}
+
+func TestParseMixedSegments(t *testing.T) {
+	s, err := Parse("3@0.5;link:0-1@0.1+0.1:dup=0.5;part:{0}|{1,2}@0.2+0.1;rand:k=1,seed=9,tmax=1", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 2 || len(s.Links) != 1 || len(s.Parts) != 1 {
+		t.Fatalf("got %d events, %d links, %d parts; want 2/1/1", len(s.Events), len(s.Links), len(s.Parts))
+	}
+}
+
+func TestParseRandLink(t *testing.T) {
+	s, err := Parse("randlink:k=3,seed=7,tmax=1.0,dur=0.25,drop=0.4,jitter=0.01", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Links) != 3 {
+		t.Fatalf("got %d link faults, want 3", len(s.Links))
+	}
+	seen := map[[2]int]bool{}
+	for _, l := range s.Links {
+		if l.A < 0 || l.B >= 6 || l.A >= l.B {
+			t.Fatalf("bad endpoints %d-%d", l.A, l.B)
+		}
+		if seen[[2]int{l.A, l.B}] {
+			t.Fatalf("link %d-%d faulted twice", l.A, l.B)
+		}
+		seen[[2]int{l.A, l.B}] = true
+		if l.Drop != 0.4 || l.Jitter != 0.01 || l.Dur != 0.25 {
+			t.Fatalf("template not copied: %+v", l)
+		}
+		if l.From <= 0 || l.From > 1 {
+			t.Fatalf("start %g outside (0,1]", float64(l.From))
+		}
+	}
+	again, err := Parse("randlink:k=3,seed=7,tmax=1.0,dur=0.25,drop=0.4,jitter=0.01", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Links, again.Links) {
+		t.Fatal("same randlink seed produced different faults")
+	}
+}
+
+func TestParseLinkErrors(t *testing.T) {
+	cases := []struct {
+		spec string
+		size int
+		want string // substring the error must contain ("" = any error)
+	}{
+		{"link:2-9@0.3+0.4:drop=0.2", 4, "world of size 4"},
+		{"link:2-2@0.3+0.4:drop=0.2", 4, "differ"},
+		{"link:2-3@0.3+0.4:", 4, "at least one"},
+		{"link:2-3@0.3+0.4:drop=1.5", 4, "[0,1]"},
+		{"link:2-3@0.3+0.4:bogus=1", 4, "unknown"},
+		{"link:2-3@0.3+0.4:drop", 4, "key=value"},
+		{"link:2-3:drop=0.2", 4, "@time"},
+		{"link:2@0.3:drop=0.2", 4, "A-B"},
+		{"link:2-3@-1:drop=0.2", 4, "negative"},
+		{"link:2-3@0.1+0:drop=0.2", 4, "positive"},
+		{"part:{0,9}|{1}@0.5+0.2", 4, "world of size 4"},
+		{"part:{0,1}|{1,2}@0.5+0.2", 4, "both sides"},
+		{"part:{0}|{}@0.5", 4, "empty"},
+		{"part:{0}{1}@0.5", 4, ""},
+		{"part:0|1@0.5", 4, "{a,b..c}"},
+		{"part:{3..1}|{0}@0.5", 4, "range"},
+		{"randlink:k=99,seed=1", 4, "world of size 4"},
+		{"randlink:k=1,dur=0", 4, "positive"},
+		{"randlink:k=1,bogus=2", 4, "unknown"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.spec, c.size)
+		if err == nil {
+			t.Errorf("Parse(%q, %d) accepted a bad spec", c.spec, c.size)
+			continue
+		}
+		if c.want != "" && !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error %q does not mention %q", c.spec, err, c.want)
+		}
+	}
+}
+
+// randomSchedule draws an arbitrary valid schedule for the round-trip
+// property test.
+func randomSchedule(rng *rand.Rand, worldSize int) *Schedule {
+	s := &Schedule{}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		s.Events = append(s.Events, Event{Rank: rng.Intn(worldSize), At: roundQ(rng.Float64() * 2)})
+	}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		a, b := rng.Intn(worldSize), rng.Intn(worldSize)
+		if a == b {
+			b = (a + 1) % worldSize
+		}
+		if a > b {
+			a, b = b, a
+		}
+		l := LinkFault{A: a, B: b, From: roundQ(rng.Float64())}
+		if rng.Intn(2) == 0 {
+			l.Dur = roundQ(rng.Float64()) + 0.125
+		}
+		switch rng.Intn(4) {
+		case 0:
+			l.Drop = 0.25
+		case 1:
+			l.Dup = 0.5
+		case 2:
+			l.Delay = 0.125
+		case 3:
+			l.Jitter = 0.0625
+		}
+		s.Links = append(s.Links, l)
+	}
+	if rng.Intn(2) == 0 {
+		mid := 1 + rng.Intn(worldSize-1)
+		p := Partition{From: roundQ(rng.Float64())}
+		for r := 0; r < mid; r++ {
+			p.SideA = append(p.SideA, r)
+		}
+		for r := mid; r < worldSize; r++ {
+			p.SideB = append(p.SideB, r)
+		}
+		if rng.Intn(2) == 0 {
+			p.Dur = roundQ(rng.Float64()) + 0.25
+		}
+		s.Parts = append(s.Parts, p)
+	}
+	sortEvents(s.Events)
+	sortLinks(s.Links)
+	sortParts(s.Parts)
+	return s
+}
+
+// roundQ quantises to 1/64 so %g round-trips the value exactly.
+func roundQ(f float64) vclock.Time { return vclock.Time(float64(int(f*64)) / 64) }
+
+func TestStringRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		worldSize := 2 + rng.Intn(8)
+		s := randomSchedule(rng, worldSize)
+		spec := s.String()
+		back, err := Parse(spec, worldSize)
+		if err != nil {
+			t.Fatalf("iter %d: re-parse of %q: %v", i, spec, err)
+		}
+		if !reflect.DeepEqual(normalise(s), normalise(back)) {
+			t.Fatalf("iter %d: round trip changed the schedule:\n spec %q\n  was %+v\n  got %+v", i, spec, s, back)
+		}
+	}
+}
+
+// normalise maps nil and empty slices to a comparable form.
+func normalise(s *Schedule) *Schedule {
+	c := &Schedule{}
+	c.Events = append([]Event{}, s.Events...)
+	c.Links = append([]LinkFault{}, s.Links...)
+	c.Parts = append([]Partition{}, s.Parts...)
+	return c
+}
+
+// FuzzParse checks two invariants over the whole grammar: Parse never
+// panics, and any accepted spec survives a String round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("3@0.5;5@1.2", 6)
+	f.Add("rand:k=2,seed=42,tmax=1.0", 6)
+	f.Add("link:2-5@0.3+0.4:drop=0.2,delay=0.01,jitter=0.005,dup=0.1", 8)
+	f.Add("part:{0,1,2}|{3..8}@0.5+0.2", 9)
+	f.Add("randlink:k=2,seed=7,tmax=1.0,dur=0.3,drop=0.2", 6)
+	f.Add("link:0-1@0:drop=0;part:{0}|{1}@0", 2)
+	f.Fuzz(func(t *testing.T, spec string, worldSize int) {
+		if worldSize < 2 || worldSize > 64 {
+			worldSize = 2 + (worldSize%63+63)%63
+		}
+		s, err := Parse(spec, worldSize)
+		if err != nil {
+			return
+		}
+		back, err := Parse(s.String(), worldSize)
+		if err != nil {
+			t.Fatalf("accepted spec %q rendered to unparseable %q: %v", spec, s.String(), err)
+		}
+		if !reflect.DeepEqual(normalise(s), normalise(back)) {
+			t.Fatalf("round trip changed schedule for %q: %+v vs %+v", spec, s, back)
+		}
+	})
+}
+
+func TestLinkFilterDeterministicAndScoped(t *testing.T) {
+	s, err := Parse("link:0-1@0.5+1:drop=0.5,dup=0.3,jitter=0.01", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, fb := s.LinkFilter(42), s.LinkFilter(42)
+	sawDrop, sawDup, sawDelay := false, false, false
+	for seq := int64(1); seq <= 200; seq++ {
+		a := fa(0, 1, 1.0, seq, 0)
+		b := fb(0, 1, 1.0, seq, 0)
+		if a != b {
+			t.Fatalf("same seed diverged at seq %d: %+v vs %+v", seq, a, b)
+		}
+		// The filter must not touch traffic outside the window or off the
+		// faulted link.
+		if out := fa(0, 1, 0.2, seq, 0); out != (mpi.LinkOutcome{}) {
+			t.Fatalf("fault active outside its window: %+v", out)
+		}
+		if out := fa(2, 3, 1.0, seq, 0); out != (mpi.LinkOutcome{}) {
+			t.Fatalf("fault leaked onto link 2-3: %+v", out)
+		}
+		sawDrop = sawDrop || a.Drop
+		sawDup = sawDup || a.Dup
+		sawDelay = sawDelay || a.Delay > 0
+	}
+	if !sawDrop || !sawDup || !sawDelay {
+		t.Fatalf("200 frames produced drop=%v dup=%v delay=%v; want all true", sawDrop, sawDup, sawDelay)
+	}
+	if s.LinkFilter(43)(0, 1, 1.0, 1, 0) == s.LinkFilter(42)(0, 1, 1.0, 1, 0) {
+		// Single draws can coincide; compare a batch before declaring the
+		// seeds equivalent.
+		same := true
+		for seq := int64(1); seq <= 64; seq++ {
+			if s.LinkFilter(43)(0, 1, 1.0, seq, 0) != s.LinkFilter(42)(0, 1, 1.0, seq, 0) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("seeds 42 and 43 produced identical outcomes for 64 frames")
+		}
+	}
+}
+
+func TestPartitionFilterWindow(t *testing.T) {
+	s, err := Parse("part:{0,1}|{2,3}@0.5+0.2", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := s.LinkFilter(1)
+	for _, c := range []struct {
+		src, dst int
+		at       float64
+		drop     bool
+	}{
+		{0, 2, 0.6, true},  // crossing, inside window
+		{2, 0, 0.6, true},  // crossing, reverse direction
+		{0, 1, 0.6, false}, // same side
+		{0, 2, 0.4, false}, // before window
+		{0, 2, 0.71, false}, // after window: a retransmission gets through
+	} {
+		out := f(c.src, c.dst, vclock.Time(c.at), 1, 0)
+		if out.Drop != c.drop {
+			t.Errorf("frame %d->%d at %g: drop=%v, want %v", c.src, c.dst, c.at, out.Drop, c.drop)
+		}
+	}
+}
+
+func TestEmptyScheduleHasNilFilter(t *testing.T) {
+	s, err := Parse("3@0.5", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := s.LinkFilter(1); f != nil {
+		t.Fatal("kill-only schedule produced a link filter; empty schedules must keep the exact fast path")
+	}
+}
+
+func TestLinkFaultStringForms(t *testing.T) {
+	for _, spec := range []string{
+		"link:0-1@0.25:drop=0.5",           // open-ended window
+		"link:0-1@0.25+0.5:dup=0.25",       // bounded window
+		"part:{0}|{1}@0.125",               // open-ended partition
+		"link:0-1@0:drop=0",                // explicit no-op fault
+	} {
+		s, err := Parse(spec, 4)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		back, err := Parse(s.String(), 4)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", s.String(), spec, err)
+		}
+		if !reflect.DeepEqual(normalise(s), normalise(back)) {
+			t.Fatalf("round trip of %q changed schedule: %+v vs %+v", spec, s, back)
+		}
+	}
+}

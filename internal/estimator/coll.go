@@ -47,7 +47,7 @@ func NewCollModel(cluster *hnoc.Cluster, machines []int) (*CollModel, error) {
 			return nil, fmt.Errorf("estimator: machine %d out of range", a)
 		}
 		for _, b := range machines[:i] {
-			l := cluster.Link(a, b)
+			l := cluster.ModelLink(a, b)
 			if l.Latency > m.Lat || (l.Latency == m.Lat && (m.Bw == 0 || l.Bandwidth < m.Bw)) {
 				m.Lat, m.Bw, m.Ov = l.Latency, l.Bandwidth, l.Overhead
 			}

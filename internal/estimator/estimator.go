@@ -110,7 +110,7 @@ func (e *Estimator) TimeofWith(candidate []int, serialiseNIC bool) float64 {
 			return e.speeds[r] / float64(share[e.placement[r]])
 		},
 		Link: func(src, dst int) sched.Link {
-			ls := e.cluster.Link(e.placement[candidate[src]], e.placement[candidate[dst]])
+			ls := e.cluster.ModelLink(e.placement[candidate[src]], e.placement[candidate[dst]])
 			return sched.Link{Latency: ls.Latency, Bandwidth: ls.Bandwidth, Overhead: ls.Overhead}
 		},
 		SerialiseNIC: serialiseNIC,
@@ -154,7 +154,7 @@ func (e *Estimator) NaiveTimeof(candidate []int) float64 {
 			if q == p {
 				continue
 			}
-			out := e.cluster.Link(e.placement[r], e.placement[candidate[q]])
+			out := e.cluster.ModelLink(e.placement[r], e.placement[candidate[q]])
 			t += e.inst.CommVolume[p][q]/out.Bandwidth + e.inst.CommVolume[q][p]/out.Bandwidth
 		}
 		if t > worst {

@@ -38,7 +38,7 @@ func (e *Estimator) Session() *Session {
 			return e.speeds[r] / float64(s.share[e.placement[r]])
 		},
 		Link: func(src, dst int) sched.Link {
-			ls := e.cluster.Link(e.placement[s.cand[src]], e.placement[s.cand[dst]])
+			ls := e.cluster.ModelLink(e.placement[s.cand[src]], e.placement[s.cand[dst]])
 			return sched.Link{Latency: ls.Latency, Bandwidth: ls.Bandwidth, Overhead: ls.Overhead}
 		},
 		SerialiseNIC: true,
@@ -143,14 +143,14 @@ func sameCost(a, b hnoc.LinkSpec) bool {
 // links everywhere), so checking a candidate member against one class
 // representative suffices.
 func interchangeable(c *hnoc.Cluster, a, b int) bool {
-	if !sameCost(c.Link(a, a), c.Link(b, b)) || !sameCost(c.Link(a, b), c.Link(b, a)) {
+	if !sameCost(c.ModelLink(a, a), c.ModelLink(b, b)) || !sameCost(c.ModelLink(a, b), c.ModelLink(b, a)) {
 		return false
 	}
 	for m := 0; m < c.Size(); m++ {
 		if m == a || m == b {
 			continue
 		}
-		if !sameCost(c.Link(a, m), c.Link(b, m)) || !sameCost(c.Link(m, a), c.Link(m, b)) {
+		if !sameCost(c.ModelLink(a, m), c.ModelLink(b, m)) || !sameCost(c.ModelLink(m, a), c.ModelLink(m, b)) {
 			return false
 		}
 	}

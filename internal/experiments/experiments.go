@@ -54,6 +54,7 @@ func Registry() map[string]Generator {
 		"hetero":      TableHeterogeneity,
 		"jacobi":      TableJacobi,
 		"degradation": TableDegradation,
+		"netdegrade":  TableNetDegrade,
 		"search":      TableSearch,
 		"coll":        TableColl,
 	}

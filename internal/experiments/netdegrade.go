@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps/em3d"
+	"repro/internal/chaos"
+	"repro/internal/hmpi"
+	"repro/internal/hnoc"
+)
+
+// netChaosSeed keys the probabilistic link-fault draws; any fixed value
+// makes the sweep reproducible bit for bit.
+const netChaosSeed = 7
+
+// TableNetDegrade measures resilience to a degrading network (Table H):
+// EM3D runs under a chronic packet-loss fault on one link between two
+// initially selected machines, with the loss rate swept from 0 to 40%.
+// Two configurations per rate: the retransmit path alone (the group keeps
+// paying for the lossy link), and retransmission plus the degradation
+// policy (after enough retransmissions the members agree to fold the link
+// into the cost model and reselect the group around it). Without
+// retransmission there is no curve to plot: a dropped frame would simply
+// lose the message and the computation would never finish — the
+// retransmit path is what turns a lossy link from fatal into slow.
+func TableNetDegrade() (*Figure, error) {
+	rates := []float64{0, 0.1, 0.2, 0.3, 0.4}
+	f := &Figure{
+		ID:     "netdegrade",
+		Title:  "EM3D makespan under chronic link loss (Table H)",
+		XLabel: "frame drop rate on one selected link",
+		YLabel: "time [s]",
+	}
+
+	pr, err := em3d.Generate(em3d.Config{P: 6, TotalNodes: 60_000, K: 1000, Light: true})
+	if err != nil {
+		return nil, err
+	}
+	run := func(spec string, degrade bool) (em3d.FTResult, int64, error) {
+		rt, err := hmpi.New(hmpi.Config{Cluster: hnoc.Paper9()})
+		if err != nil {
+			return em3d.FTResult{}, 0, err
+		}
+		if spec != "" {
+			sched, err := chaos.Parse(spec, rt.World().Size())
+			if err != nil {
+				return em3d.FTResult{}, 0, err
+			}
+			if err := sched.Arm(rt.World(), netChaosSeed, nil); err != nil {
+				return em3d.FTResult{}, 0, err
+			}
+		}
+		if degrade {
+			rt.EnableDegradation(hmpi.DefaultDegradationPolicy())
+		}
+		res, err := em3d.RunResilientHMPI(rt, pr, em3d.RunOptions{Iters: em3dIters})
+		if err != nil {
+			return em3d.FTResult{}, 0, err
+		}
+		var retransmits int64
+		for _, st := range rt.World().LinkStatsSnapshot() {
+			retransmits += st.Retransmits
+		}
+		return res, retransmits, nil
+	}
+
+	// The clean pass reveals which machines the model selects; the fault
+	// targets two adjacent non-host members, so the ring exchange is
+	// guaranteed to cross the lossy link.
+	base, _, err := run("", false)
+	if err != nil {
+		return nil, err
+	}
+	a, b := -1, -1
+	for i := 0; i+1 < len(base.Selection); i++ {
+		if base.Selection[i] != hmpi.HostRank && base.Selection[i+1] != hmpi.HostRank {
+			a, b = base.Selection[i], base.Selection[i+1]
+			break
+		}
+	}
+	if a < 0 {
+		return nil, fmt.Errorf("netdegrade: selection %v has no adjacent non-host pair", base.Selection)
+	}
+
+	var tRetry, tDegrade, wDegrade, nRetry, nDegrade []float64
+	for _, rate := range rates {
+		spec := ""
+		if rate > 0 {
+			spec = fmt.Sprintf("link:%d-%d@0:drop=%g", a, b, rate)
+		}
+		resR, rxR, err := run(spec, false)
+		if err != nil {
+			return nil, fmt.Errorf("netdegrade drop=%g: %w", rate, err)
+		}
+		resD, rxD, err := run(spec, true)
+		if err != nil {
+			return nil, fmt.Errorf("netdegrade drop=%g (degrade): %w", rate, err)
+		}
+		f.X = append(f.X, rate)
+		tRetry = append(tRetry, float64(resR.Time))
+		tDegrade = append(tDegrade, float64(resD.Time))
+		wDegrade = append(wDegrade, float64(resD.WorkTime))
+		nRetry = append(nRetry, float64(rxR))
+		nDegrade = append(nDegrade, float64(rxD))
+	}
+	f.Series = []Series{
+		{Name: "retransmit only", Y: tRetry},
+		{Name: "retransmit+degradation", Y: tDegrade},
+		{Name: "degradation final attempt", Y: wDegrade},
+		{Name: "retransmits (retry only)", Y: nRetry},
+		{Name: "retransmits (degradation)", Y: nDegrade},
+	}
+	f.Notes = append(f.Notes,
+		fmt.Sprintf("EM3D: 6 subbodies, 60k nodes, %d iterations on the 9-machine paper", em3dIters),
+		fmt.Sprintf("network; chronic loss injected on the %d-%d link (adjacent members of", a, b),
+		"the initial selection), seeded and reproducible. Retransmission alone",
+		"keeps the run correct but pays for every loss at every iteration; with",
+		"the degradation policy the group agrees (at the work boundary) to",
+		"reselect around the lossy link once it crosses the retransmission",
+		"threshold. The one-shot region pays a full restart, so its total time",
+		"includes one wasted attempt — but the final attempt runs at clean-",
+		"network speed, the steady state a long-lived application keeps. No",
+		"no-retransmit series exists: without retries a dropped frame loses the",
+		"message and the run never completes.")
+	return f, nil
+}

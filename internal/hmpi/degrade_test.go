@@ -1,0 +1,251 @@
+package hmpi
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/hnoc"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// TestRunResilientDegradeReselect: a chronically lossy link between two
+// group members accumulates retransmissions past the policy threshold; the
+// resilient loop must then agree on a degrade-reselect, fold the pair into
+// the cost model, and recreate the group so the new selection no longer
+// places both endpoints together. The run completes correctly throughout —
+// no process ever fails.
+func TestRunResilientDegradeReselect(t *testing.T) {
+	rt := newRuntime(t, hnoc.Homogeneous(5, 10))
+	model := testModel(t)
+
+	// The lossy pair (world ranks) is chosen once the first group is known:
+	// its last two members. Until then (-1) no frames are touched. Every
+	// frame between the pair is dropped on its first three attempts, so
+	// each one costs three retransmissions — enough to trip the default
+	// threshold with a single exchange.
+	var dropA, dropB atomic.Int64
+	dropA.Store(-1)
+	dropB.Store(-1)
+	rt.World().SetLinkFilter(func(src, dst int, at vclock.Time, seq int64, attempt int) mpi.LinkOutcome {
+		a, b := int(dropA.Load()), int(dropB.Load())
+		if a >= 0 && ((src == a && dst == b) || (src == b && dst == a)) {
+			return mpi.LinkOutcome{Drop: attempt < 3}
+		}
+		return mpi.LinkOutcome{}
+	})
+	rt.World().SetRetransmit(mpi.DefaultRetryPolicy())
+	rt.EnableDegradation(DegradationPolicy{RetransmitThreshold: 3, Factor: 8})
+	rec := rt.EnableRecorder("degrade-test", trace.Options{})
+
+	var mu sync.Mutex
+	var lastRanks []int
+	var runs atomic.Int32
+	err := runRuntimeWithTimeout(t, rt, 60*time.Second, func(h *Process) error {
+		return h.RunResilient(FixedPlan(model, 3, []int{1, 1, 1}, 1), func(g *Group) error {
+			runs.Add(1)
+			ranks := g.WorldRanks()
+			if dropA.Load() < 0 {
+				// First attempt: every member derives the same pair from
+				// the agreed member list, so the stores are idempotent.
+				dropB.Store(int64(ranks[len(ranks)-1]))
+				dropA.Store(int64(ranks[len(ranks)-2]))
+			}
+			mu.Lock()
+			lastRanks = append([]int(nil), ranks...)
+			mu.Unlock()
+			// Pairwise byte exchange: guarantees frames in both directions
+			// across every member pair, the lossy one included.
+			comm := g.Comm()
+			me := g.Rank()
+			for r := 0; r < g.Size(); r++ {
+				if r == me {
+					continue
+				}
+				if me < r {
+					comm.Send(r, 50, []byte{byte(me)})
+					if data, _ := comm.Recv(r, 51); data[0] != byte(r) {
+						t.Errorf("pair exchange corrupted: got %d from %d", data[0], r)
+					}
+				} else {
+					if data, _ := comm.Recv(r, 50); data[0] != byte(r) {
+						t.Errorf("pair exchange corrupted: got %d from %d", data[0], r)
+					}
+					comm.Send(r, 51, []byte{byte(me)})
+				}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := int(dropA.Load()), int(dropB.Load())
+	if a < 0 || b < 0 {
+		t.Fatal("lossy pair never chosen; the first group did not run")
+	}
+	// The pair was flagged and folded into the model (placement is one
+	// process per machine, so machine indexes equal world ranks).
+	want := [2]int{a, b}
+	if want[0] > want[1] {
+		want[0], want[1] = want[1], want[0]
+	}
+	pairs := rt.DegradedPairs()
+	if len(pairs) != 1 || pairs[0] != want {
+		t.Fatalf("DegradedPairs = %v, want [%v]", pairs, want)
+	}
+	// The reselected group routed around the degraded link: its final
+	// member list must not contain both endpoints.
+	mu.Lock()
+	final := lastRanks
+	mu.Unlock()
+	hasA, hasB := false, false
+	for _, r := range final {
+		hasA = hasA || r == a
+		hasB = hasB || r == b
+	}
+	if hasA && hasB {
+		t.Fatalf("final group %v still contains both endpoints of degraded pair %v", final, want)
+	}
+	// Two attempts of three members each.
+	if got := runs.Load(); got != 6 {
+		t.Fatalf("work ran %d times, want 6 (three members, two attempts)", got)
+	}
+	// The trace tells the story: retransmissions, then the agreed
+	// degrade-reselect, then the recreation.
+	d := rec.Data()
+	count := func(k trace.Kind) int {
+		n := 0
+		for _, evs := range d.PerRank {
+			for i := range evs {
+				if evs[i].Kind == k {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if got := count(trace.KindRetransmit); got < 3 {
+		t.Errorf("retransmit events = %d, want >= 3", got)
+	}
+	if got := count(trace.KindDegrade); got != 1 {
+		t.Errorf("degrade_reselect events = %d, want 1 (one applied pair, host-recorded)", got)
+	}
+	if got := count(trace.KindGroupRecreate); got != 1 {
+		t.Errorf("group_recreate events = %d, want 1", got)
+	}
+	if count(trace.KindLinkFault) == 0 {
+		t.Error("no link_fault_injected events recorded")
+	}
+	// The degrade event carries the pair and the model slowdown factor.
+	for _, evs := range d.PerRank {
+		for _, e := range evs {
+			if e.Kind != trace.KindDegrade {
+				continue
+			}
+			if int(e.Peer) != want[0] || int(e.A1) != want[1] {
+				t.Errorf("degrade event pair = (%d,%d), want %v", e.Peer, e.A1, want)
+			}
+			if f := trace.BitsFloat(e.A0); f != 8 {
+				t.Errorf("degrade event factor = %v, want 8", f)
+			}
+		}
+	}
+}
+
+// TestDegradationPolicyDefaults: zero-valued policy fields fall back to
+// the documented defaults.
+func TestDegradationPolicyDefaults(t *testing.T) {
+	rt := newRuntime(t, hnoc.Homogeneous(3, 10))
+	rt.EnableDegradation(DegradationPolicy{})
+	d := rt.degrade
+	if d.policy.RetransmitThreshold != 3 || d.policy.Factor != 8 {
+		t.Fatalf("defaulted policy = %+v, want threshold 3, factor 8", d.policy)
+	}
+	if rt.DegradedPairs() != nil && len(rt.DegradedPairs()) != 0 {
+		t.Fatal("fresh policy already reports degraded pairs")
+	}
+}
+
+// TestDegradeObserveMapsToMachines: the watch maps world ranks through the
+// placement and ignores same-machine pairs and already-applied pairs.
+func TestDegradeObserveMapsToMachines(t *testing.T) {
+	c := hnoc.Homogeneous(3, 10)
+	rt, err := New(Config{Cluster: c, Placement: []int{0, 0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.EnableDegradation(DefaultDegradationPolicy())
+	d := rt.degrade
+
+	below := mpi.LinkStats{Retransmits: 2}
+	at := mpi.LinkStats{Retransmits: 3}
+	d.observe(0, 2, below)
+	if d.hasPending() {
+		t.Fatal("below-threshold stats flagged a pair")
+	}
+	d.observe(0, 1, at) // ranks 0 and 1 share machine 0
+	if d.hasPending() {
+		t.Fatal("same-machine pair flagged")
+	}
+	d.observe(2, 0, at) // machines 1 and 0, normalised to (0,1)
+	if !d.hasPending() {
+		t.Fatal("cross-machine pair above threshold not flagged")
+	}
+	pairs := d.apply()
+	if len(pairs) != 1 || pairs[0] != [2]int{0, 1} {
+		t.Fatalf("applied pairs = %v, want [(0,1)]", pairs)
+	}
+	if c.LinkDegradation(0, 1) != DefaultDegradationPolicy().Factor {
+		t.Fatalf("cluster degradation factor = %v, want %v", c.LinkDegradation(0, 1), DefaultDegradationPolicy().Factor)
+	}
+	// Re-observation of an applied pair must not re-pend it (termination
+	// of the resilient loop depends on this).
+	d.observe(2, 0, mpi.LinkStats{Retransmits: 99})
+	if d.hasPending() {
+		t.Fatal("applied pair re-flagged")
+	}
+}
+
+// TestDegradeDelayThreshold: a link that is merely slow — accumulated
+// ExtraDelay past the policy's DelayThreshold, zero retransmits — flags
+// its machine pair, and a zero threshold disables the latency trigger.
+func TestDegradeDelayThreshold(t *testing.T) {
+	c := hnoc.Homogeneous(3, 10)
+	rt, err := New(Config{Cluster: c, Placement: []int{0, 0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.EnableDegradation(DegradationPolicy{DelayThreshold: 0.5})
+	d := rt.degrade
+
+	slowish := mpi.LinkStats{ExtraDelay: 0.4}
+	slow := mpi.LinkStats{ExtraDelay: 0.5}
+	d.observe(0, 2, slowish)
+	if d.hasPending() {
+		t.Fatal("below-threshold delay flagged a pair")
+	}
+	d.observe(0, 2, slow)
+	if !d.hasPending() {
+		t.Fatal("slow link with zero retransmits not flagged")
+	}
+	if pairs := d.apply(); len(pairs) != 1 || pairs[0] != [2]int{0, 1} {
+		t.Fatalf("applied pairs = %v, want [(0,1)]", pairs)
+	}
+
+	// With the trigger disabled (zero threshold), arbitrary delay alone
+	// never flags.
+	rt2, err := New(Config{Cluster: hnoc.Homogeneous(3, 10), Placement: []int{0, 0, 1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2.EnableDegradation(DefaultDegradationPolicy())
+	rt2.degrade.observe(0, 2, mpi.LinkStats{ExtraDelay: 1e9})
+	if rt2.degrade.hasPending() {
+		t.Fatal("delay flagged a pair with the latency trigger disabled")
+	}
+}

@@ -150,7 +150,11 @@ func FixedPlan(model *pmdl.Model, args ...any) ResilientPlan {
 // transparently recovers from process failures: when a member of the group
 // fails, the survivors agree on the failure, the group is recreated over
 // the surviving processors (GroupRecreate), and work is re-executed on the
-// new group. Every process of the HMPI program must call it; processes not
+// new group. With a degradation policy enabled (EnableDegradation), the
+// same protocol also reacts to chronically degraded links: when the
+// retransmit path has flagged a machine pair, the members agree
+// (AgreeVote) to fold the degradation into the cost model and recreate,
+// so the next selection routes around the bad links. Every process of the HMPI program must call it; processes not
 // selected into the current group park until the host either reassigns or
 // dismisses them. work may therefore run more than once — it must be
 // restartable (idempotent or starting from replicated input).
@@ -238,6 +242,19 @@ func (h *Process) resilientHost(plan ResilientPlan, work func(g *Group) error) e
 			g.comm.Revoke()
 		}
 		if len(g.comm.AgreeFailed()) == 0 {
+			if d := h.rt.degrade; d != nil && g.comm.AgreeVote(d.shouldReselect()) {
+				// Nobody died, but chronically degraded links were
+				// observed (retransmit exhaustion surfaces here too: the
+				// exhausted link crossed the retransmission threshold on
+				// the way down). Fold them into the cost model and loop —
+				// the next selection routes around the degraded pairs. The
+				// agreement vote puts every member into the recreation
+				// protocol together; a lone decision would desynchronise
+				// the group.
+				pairs := d.apply()
+				h.recordDegrade(pairs, d.policy.Factor)
+				continue
+			}
 			// No member failed: the region is complete (modulo an
 			// application error, which is not retried). Dismiss the
 			// parked processes.
@@ -277,10 +294,16 @@ func (h *Process) resilientWorker(work func(g *Group) error) error {
 			g.comm.Revoke()
 		}
 		if len(g.comm.AgreeFailed()) == 0 {
-			return werr
+			d := h.rt.degrade
+			if d == nil || !g.comm.AgreeVote(d.shouldReselect()) {
+				return werr
+			}
+			// Degrade-reselect, agreed with the host: rejoin through the
+			// recreation protocol exactly as after a member failure.
 		}
-		// A member failed: rejoin the pool through the recreation
-		// protocol; the host supplies the model.
+		// A member failed (or the group is rebuilding around degraded
+		// links): rejoin the pool through the recreation protocol; the
+		// host supplies the model.
 		ng, err := h.GroupRecreate(g, nil)
 		if err != nil {
 			return err

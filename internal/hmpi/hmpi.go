@@ -80,6 +80,12 @@ type Runtime struct {
 
 	keyMu   sync.Mutex
 	nextKey int64
+
+	// degrade is the graceful-degradation tracker, nil until
+	// EnableDegradation installs a policy. Set before Run, so every
+	// process sees the same (possibly nil) policy — the resilient
+	// protocol relies on that uniformity.
+	degrade *degradeState
 }
 
 // New validates the configuration and creates the runtime.

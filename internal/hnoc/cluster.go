@@ -102,6 +102,65 @@ type Cluster struct {
 	// failMu guards the Failed flags, which the fault-tolerance runtime
 	// flips concurrently with readers.
 	failMu sync.Mutex
+
+	// degMu guards degraded: per machine-pair slowdown factors observed at
+	// run time (chronic link faults noticed by the degradation policy).
+	// They affect only ModelLink — the cost model's view — never Link, the
+	// simulation's ground truth: degradation is something the runtime
+	// *believes* about the network, and the belief steers group selection
+	// away from the affected pairs.
+	degMu    sync.Mutex
+	degraded map[[2]int]float64
+}
+
+// DegradeLink records that the link between machines i and j behaves
+// `factor` times worse than configured (factor > 1; a factor <= 1 clears
+// the entry). ModelLink folds the factor into the pair's cost-model view,
+// so selection and Timeof predictions route around the pair. Safe for
+// concurrent use.
+func (c *Cluster) DegradeLink(i, j int, factor float64) {
+	if i > j {
+		i, j = j, i
+	}
+	c.degMu.Lock()
+	defer c.degMu.Unlock()
+	if factor <= 1 {
+		delete(c.degraded, [2]int{i, j})
+		return
+	}
+	if c.degraded == nil {
+		c.degraded = make(map[[2]int]float64)
+	}
+	c.degraded[[2]int{i, j}] = factor
+}
+
+// LinkDegradation returns the recorded slowdown factor for the machine
+// pair (1 when the pair is healthy). Safe for concurrent use.
+func (c *Cluster) LinkDegradation(i, j int) float64 {
+	if i > j {
+		i, j = j, i
+	}
+	c.degMu.Lock()
+	defer c.degMu.Unlock()
+	if f, ok := c.degraded[[2]int{i, j}]; ok {
+		return f
+	}
+	return 1
+}
+
+// ModelLink returns the cost model's view of the i->j link: the
+// configured specification worsened by any recorded degradation factor
+// (latency multiplied, bandwidth divided). The estimator and group
+// selection read links through this method; the simulation itself keeps
+// reading Link, so observed degradation changes predictions and
+// placement, not physics.
+func (c *Cluster) ModelLink(i, j int) LinkSpec {
+	l := c.Link(i, j)
+	if f := c.LinkDegradation(i, j); f > 1 {
+		l.Latency *= f
+		l.Bandwidth /= f
+	}
+	return l
 }
 
 // MarkFailed marks machine i as crashed (fault-tolerance extension). A
@@ -193,6 +252,14 @@ func (c *Cluster) Clone() *Cluster {
 		Local:     c.Local,
 		Overrides: append([]LinkOverride(nil), c.Overrides...),
 	}
+	c.degMu.Lock()
+	if len(c.degraded) > 0 {
+		out.degraded = make(map[[2]int]float64, len(c.degraded))
+		for k, v := range c.degraded {
+			out.degraded[k] = v
+		}
+	}
+	c.degMu.Unlock()
 	return out
 }
 

@@ -131,6 +131,40 @@ func (c *Comm) AgreeFailed() []int {
 	return failed
 }
 
+// AgreeVote is a failure-tolerant collective boolean OR over the
+// communicator: it returns true on every surviving member iff any
+// surviving member contributed true. Like AgreeFailed it works on revoked
+// communicators and treats failed members as participating trivially
+// (with false). The HMPI degradation policy uses it to decide uniformly
+// whether to rebuild the group around degraded links — a decision no
+// single member can take alone without desynchronising the recovery
+// protocol.
+func (c *Comm) AgreeVote(local bool) bool {
+	c.agreeSeq++
+	rec, t0, w0 := c.collStart()
+	key := ctxKey{parent: c.s.id, seq: c.agreeSeq}
+	vote, maxT := c.p.world.agreeVote(key, c.s.members, c.p.rank, c.p.clock.Now(), local)
+	c.p.clock.AbsorbAtLeast(maxT)
+	if n := len(c.s.members); n > 1 {
+		link := c.p.world.cluster.Remote
+		rounds := 2 * int(math.Ceil(math.Log2(float64(n))))
+		c.p.clock.Advance(vclock.Time(float64(rounds) * (link.Latency + 2*link.Overhead)))
+	}
+	if rec != nil {
+		var a0 int64
+		if vote {
+			a0 = 1
+		}
+		rec.Emit(c.p.rank, trace.Event{
+			Rank: int32(c.p.rank), Kind: trace.KindAgree, Peer: -1, Ctx: c.s.id,
+			Name:  "vote",
+			Start: t0, End: c.p.clock.Now(), WallStart: w0, WallEnd: rec.NowNS(),
+			A0: a0,
+		})
+	}
+	return vote
+}
+
 // Shrink agrees on the failed set and returns a new communicator over the
 // surviving members, in the same relative order (ULFM MPI_Comm_shrink).
 // Full functionality — collectives included — is restored on the result.
@@ -201,6 +235,7 @@ type agreeState struct {
 	arrived map[int]bool
 	decided bool
 	value   []int
+	vote    bool // OR of the participants' AgreeVote inputs
 	maxT    vclock.Time
 }
 
@@ -229,6 +264,34 @@ func (w *World) agree(key ctxKey, members []int, me int, now vclock.Time) ([]int
 		w.agreeCond.Wait()
 	}
 	return append([]int(nil), st.value...), st.maxT
+}
+
+// agreeVote blocks until every member of the agreement identified by key
+// has arrived or failed, then returns the OR of the surviving members'
+// local inputs (identical for all participants) and the maximum arrival
+// clock.
+func (w *World) agreeVote(key ctxKey, members []int, me int, now vclock.Time, local bool) (bool, vclock.Time) {
+	w.agreeMu.Lock()
+	defer w.agreeMu.Unlock()
+	st, ok := w.agreeTab[key]
+	if !ok {
+		st = &agreeState{members: members, arrived: make(map[int]bool, len(members))}
+		w.agreeTab[key] = st
+	}
+	st.arrived[me] = true
+	st.vote = st.vote || local
+	if now > st.maxT {
+		st.maxT = now
+	}
+	for !st.decided {
+		if w.agreeComplete(st) {
+			st.decided = true
+			w.agreeCond.Broadcast()
+			break
+		}
+		w.agreeCond.Wait()
+	}
+	return st.vote, st.maxT
 }
 
 // agreeComplete reports whether every member has arrived or failed.

@@ -51,13 +51,34 @@ type mailbox struct {
 	cond   *sync.Cond
 	q      map[mbKey][]*envelope
 	closed bool
-	owner  int   // world rank, for failure reporting
-	enq    int64 // monotone enqueue counter; stamps envelope.order
+	kind   FailureKind // why the owner failed, for error reporting
+	owner  int         // world rank, for failure reporting
+	enq    int64       // monotone enqueue counter; stamps envelope.order
+
+	// maxSeq, when non-nil, records the highest sender sequence consumed
+	// per source: the duplicate-suppression window of the reliable
+	// delivery path. Per-sender sequences arrive monotonically (in-process
+	// delivery is synchronous with the send, the TCP transport is FIFO per
+	// connection), so a frame whose sequence does not advance the high
+	// mark is a duplicate injected on the wire. Enabled only when a link
+	// filter is installed; without one sequences always advance and the
+	// map would never fire.
+	maxSeq map[int]int64
 }
 
 func (m *mailbox) init() {
 	m.cond = sync.NewCond(&m.mu)
 	m.q = make(map[mbKey][]*envelope)
+}
+
+// enableDedupe arms duplicate suppression; called before Run when a link
+// filter (which may duplicate frames) is installed.
+func (m *mailbox) enableDedupe() {
+	m.mu.Lock()
+	if m.maxSeq == nil {
+		m.maxSeq = make(map[int]int64)
+	}
+	m.mu.Unlock()
 }
 
 func (m *mailbox) put(e *envelope) {
@@ -66,6 +87,14 @@ func (m *mailbox) put(e *envelope) {
 		m.mu.Unlock()
 		releaseEnvelope(e) // message to a failed process disappears
 		return
+	}
+	if m.maxSeq != nil && e.seq > 0 {
+		if last, ok := m.maxSeq[e.src]; ok && e.seq <= last {
+			m.mu.Unlock()
+			releaseEnvelope(e) // duplicate frame suppressed
+			return
+		}
+		m.maxSeq[e.src] = e.seq
 	}
 	e.order = m.enq
 	m.enq++
@@ -135,7 +164,7 @@ func (m *mailbox) get(sel recvSel, giveUp func() error) *envelope {
 			return m.pop(k, i)
 		}
 		if m.closed {
-			panic(&ProcessFailedError{Rank: m.owner})
+			panic(&ProcessFailedError{Rank: m.owner, Kind: m.kind})
 		}
 		if giveUp != nil {
 			if err := giveUp(); err != nil {
@@ -163,7 +192,7 @@ func (m *mailbox) peek(sel recvSel, giveUp func() error) *envelope {
 			return m.q[k][i]
 		}
 		if m.closed {
-			panic(&ProcessFailedError{Rank: m.owner})
+			panic(&ProcessFailedError{Rank: m.owner, Kind: m.kind})
 		}
 		if giveUp != nil {
 			if err := giveUp(); err != nil {
@@ -188,9 +217,10 @@ func (m *mailbox) tryGet(sel recvSel, peek bool) *envelope {
 	return m.pop(k, i)
 }
 
-func (m *mailbox) close() {
+func (m *mailbox) close(kind FailureKind) {
 	m.mu.Lock()
 	m.closed = true
+	m.kind = kind
 	m.cond.Broadcast()
 	m.mu.Unlock()
 }
@@ -233,7 +263,7 @@ func (c *Comm) sendCommon(dst, tag int, data []byte, copyBuf bool) vclock.Time {
 		panic(&RevokedError{Ctx: c.s.id})
 	}
 	if p.world.IsFailed(dstW) {
-		panic(&ProcessFailedError{Rank: dstW})
+		panic(p.world.failedError(dstW))
 	}
 	link := p.world.cluster.Link(p.machine, p.world.place[dstW])
 	sendStart := p.clock.Now()
@@ -267,6 +297,12 @@ func (c *Comm) sendCommon(dst, tag int, data []byte, copyBuf bool) vclock.Time {
 			Tag: int32(tag), Ctx: c.s.id, Bytes: int64(len(data)),
 			Start: sendStart, End: end, WallStart: wall, WallEnd: wall,
 		})
+	}
+	if p.world.linkFilter != nil && dstW != p.rank {
+		// Chaos-adjudicated path: the frame may be delayed, duplicated or
+		// dropped (and then retransmitted) before it reaches the wire.
+		p.transmitFiltered(dstW, env, link, end)
+		return end
 	}
 	p.world.deliver(dstW, env)
 	return end
@@ -341,7 +377,7 @@ func (c *Comm) failWatch(src int) func() error {
 			if failed < 0 {
 				return nil
 			}
-			return &ProcessFailedError{Rank: failed}
+			return w.failedError(failed)
 		}
 	}
 	srcW := c.s.members[src]
@@ -350,7 +386,7 @@ func (c *Comm) failWatch(src int) func() error {
 			return &RevokedError{Ctx: id}
 		}
 		if w.IsFailed(srcW) {
-			return &ProcessFailedError{Rank: srcW}
+			return w.failedError(srcW)
 		}
 		return nil
 	}
@@ -373,7 +409,7 @@ func (c *Comm) collWatch() func() error {
 		}
 		for _, r := range members {
 			if r != me && w.IsFailed(r) {
-				return &ProcessFailedError{Rank: r}
+				return w.failedError(r)
 			}
 		}
 		return nil

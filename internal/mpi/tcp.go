@@ -14,11 +14,18 @@ package mpi
 // closes unexpectedly is marked failed, which wakes every blocked receiver
 // — the wire-level analogue of World.Fail. With heartbeats enabled, each
 // rank additionally emits periodic heartbeat frames on every connection; a
-// rank silent beyond the timeout is declared dead even if its sockets are
-// still open (a hung process). Writes that fail are retried over a bounded
-// number of re-dials with exponential backoff before the destination is
-// declared dead, and every write carries a deadline so a wedged kernel
-// buffer cannot block a sender forever.
+// rank silent beyond an adaptive threshold — the configured timeout floor,
+// raised by the observed interarrival average and deviation of that pair,
+// so slow or jittery links do not read as dead (see
+// TCPOptions.HeartbeatTimeout for the documented no-false-positive bound)
+// — is declared failed even if its sockets are still open (a hung
+// process). The verdict is disambiguated: silence towards every live peer
+// is a crash, silence towards only some peers while others still hear the
+// rank is a suspected partition, surfaced as a FailurePartition-kind
+// ProcessFailedError. Writes that fail are retried over a bounded number
+// of re-dials with exponential backoff before the destination is declared
+// dead, and every write carries a deadline so a wedged kernel buffer
+// cannot block a sender forever.
 
 import (
 	"encoding/binary"
@@ -50,9 +57,19 @@ type TCPOptions struct {
 	// HeartbeatInterval is the period of heartbeat frames on every
 	// connection. Zero disables heartbeats.
 	HeartbeatInterval time.Duration
-	// HeartbeatTimeout is the silence after which a peer is declared
-	// dead. With heartbeats enabled, a socket close alone is not proof of
-	// death (the peer may be reconnecting); silence beyond this is.
+	// HeartbeatTimeout is the minimum silence after which a peer may be
+	// declared dead. With heartbeats enabled, a socket close alone is not
+	// proof of death (the peer may be reconnecting); silence beyond the
+	// detection threshold is. The threshold is adaptive, never below this
+	// value: each receiver tracks the observed heartbeat interarrival
+	// (Jacobson-style smoothed average and deviation) and tolerates
+	// silence up to max(HeartbeatTimeout, srtt + 4*rttvar +
+	// 2*HeartbeatInterval), so a slow or jittery-but-alive link raises
+	// its own threshold instead of producing false positives. Documented
+	// bound: added per-heartbeat delay of at most HeartbeatTimeout -
+	// HeartbeatInterval never yields a false-positive failure
+	// declaration, even before any adaptation; sustained jitter beyond
+	// that is absorbed once it has been observed.
 	HeartbeatTimeout time.Duration
 	// DialRetries bounds the re-dial attempts after a failed write
 	// before the destination is declared dead.
@@ -90,9 +107,22 @@ type tcpTransport struct {
 	// lastSeen[dst][src] is the UnixNano time dst's pump last heard any
 	// frame from src (heartbeat or payload).
 	lastSeen [][]atomic.Int64
+	// hbAvg/hbDev[dst][src] are Jacobson-style estimates (nanoseconds) of
+	// the frame interarrival dst observes from src: avg += (sample-avg)/8,
+	// dev += (|sample-avg|-dev)/4. Zero avg means no sample yet. They feed
+	// the adaptive silence threshold (silenceLimit).
+	hbAvg [][]atomic.Int64
+	hbDev [][]atomic.Int64
 	// silenced[src] suppresses src's heartbeats — a test hook simulating
 	// a hung process whose sockets stay open.
 	silenced []atomic.Bool
+	// hbDelay[src] adds an artificial wall-clock delay before each of
+	// src's heartbeat rounds — a test hook simulating a slow link.
+	hbDelay []atomic.Int64
+	// hbMute[src*n+dst] suppresses src's heartbeats towards dst only — a
+	// test hook simulating an asymmetric partition (src alive for some
+	// peers, silent for others).
+	hbMute []atomic.Bool
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -125,7 +155,15 @@ func newTCPTransport(w *World, opts TCPOptions) (*tcpTransport, error) {
 	for i := range t.lastSeen {
 		t.lastSeen[i] = make([]atomic.Int64, n)
 	}
+	t.hbAvg = make([][]atomic.Int64, n)
+	t.hbDev = make([][]atomic.Int64, n)
+	for i := range t.hbAvg {
+		t.hbAvg[i] = make([]atomic.Int64, n)
+		t.hbDev[i] = make([]atomic.Int64, n)
+	}
 	t.silenced = make([]atomic.Bool, n)
+	t.hbDelay = make([]atomic.Int64, n)
+	t.hbMute = make([]atomic.Bool, n*n)
 	now := time.Now().UnixNano()
 	for dst := 0; dst < n; dst++ {
 		for src := 0; src < n; src++ {
@@ -392,7 +430,7 @@ func (t *tcpTransport) pump(dst, src int, conn net.Conn) {
 		ctx := int64(binary.LittleEndian.Uint64(hdr[0:]))
 		size := binary.LittleEndian.Uint32(hdr[40:])
 		if ctx == heartbeatCtx {
-			t.lastSeen[dst][src].Store(time.Now().UnixNano())
+			t.observe(dst, src, time.Now().UnixNano())
 			continue
 		}
 		e := getEnv()
@@ -418,9 +456,52 @@ func (t *tcpTransport) pump(dst, src int, conn net.Conn) {
 			releaseEnvelope(e)
 			return // protocol violation; drop the connection
 		}
-		t.lastSeen[dst][src].Store(time.Now().UnixNano())
+		t.observe(dst, src, time.Now().UnixNano())
 		t.world.procs[dst].mbox.put(e)
 	}
+}
+
+// observe records that dst heard from src at wall time now (UnixNano) and
+// folds the interarrival sample into the Jacobson estimators behind the
+// adaptive silence threshold. Updates are load/store (not CAS): two pumps
+// can overlap briefly across a reconnect, and a lost statistical sample
+// is harmless.
+func (t *tcpTransport) observe(dst, src int, now int64) {
+	prev := t.lastSeen[dst][src].Swap(now)
+	sample := now - prev
+	if sample <= 0 {
+		return
+	}
+	avg := t.hbAvg[dst][src].Load()
+	if avg == 0 {
+		t.hbAvg[dst][src].Store(sample)
+		t.hbDev[dst][src].Store(sample / 2)
+		return
+	}
+	diff := sample - avg
+	t.hbAvg[dst][src].Store(avg + diff/8)
+	if diff < 0 {
+		diff = -diff
+	}
+	dev := t.hbDev[dst][src].Load()
+	t.hbDev[dst][src].Store(dev + (diff-dev)/4)
+}
+
+// silenceLimit returns the silence (nanoseconds) beyond which dst's view
+// of src counts as failure evidence: the configured timeout floor, raised
+// by the observed interarrival statistics so a link that is merely slow
+// or jittery does not read as dead.
+func (t *tcpTransport) silenceLimit(dst, src int) int64 {
+	base := t.opts.HeartbeatTimeout.Nanoseconds()
+	avg := t.hbAvg[dst][src].Load()
+	if avg == 0 {
+		return base
+	}
+	adaptive := avg + 4*t.hbDev[dst][src].Load() + 2*t.opts.HeartbeatInterval.Nanoseconds()
+	if adaptive > base {
+		return adaptive
+	}
+	return base
 }
 
 // peerGone handles an unexpected disconnect of the src->dst stream.
@@ -460,8 +541,15 @@ func (t *tcpTransport) heartbeat(src int) {
 		if t.silenced[src].Load() {
 			continue
 		}
+		if d := t.hbDelay[src].Load(); d > 0 {
+			select {
+			case <-t.closed:
+				return
+			case <-time.After(time.Duration(d)):
+			}
+		}
 		for dst := 0; dst < n; dst++ {
-			if dst == src || t.world.IsFailed(dst) {
+			if dst == src || t.world.IsFailed(dst) || t.hbMute[src*n+dst].Load() {
 				continue
 			}
 			t.writeFrame(src, dst, buf) // errors left to the monitor
@@ -469,8 +557,13 @@ func (t *tcpTransport) heartbeat(src int) {
 	}
 }
 
-// monitor declares ranks dead that have been silent towards any live peer
-// beyond the heartbeat timeout.
+// monitor watches every rank's silence towards its live peers against the
+// adaptive per-pair threshold and disambiguates the verdict: a rank silent
+// beyond the limit for ALL live peers is dead (crash — nobody can reach
+// it), while a rank silent for some peers but demonstrably alive for
+// others is partitioned, declared with FailPartitioned so the error
+// surfaced to blocked operations carries FailurePartition instead of
+// FailureCrash.
 func (t *tcpTransport) monitor() {
 	defer t.wg.Done()
 	n := len(t.world.procs)
@@ -483,19 +576,27 @@ func (t *tcpTransport) monitor() {
 		case <-ticker.C:
 		}
 		now := time.Now().UnixNano()
-		limit := t.opts.HeartbeatTimeout.Nanoseconds()
 		for src := 0; src < n; src++ {
 			if t.world.IsFailed(src) {
 				continue
 			}
+			observers, silent := 0, 0
 			for dst := 0; dst < n; dst++ {
 				if dst == src || t.world.IsFailed(dst) {
 					continue
 				}
-				if now-t.lastSeen[dst][src].Load() > limit {
-					t.world.Fail(src)
-					break
+				observers++
+				if now-t.lastSeen[dst][src].Load() > t.silenceLimit(dst, src) {
+					silent++
 				}
+			}
+			if observers == 0 || silent == 0 {
+				continue
+			}
+			if silent == observers {
+				t.world.Fail(src)
+			} else {
+				t.world.FailPartitioned(src)
 			}
 		}
 	}

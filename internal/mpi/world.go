@@ -50,7 +50,8 @@ type World struct {
 	ctxTab  map[ctxKey]int64
 
 	failedMu sync.RWMutex
-	failed   map[int]bool // world ranks marked failed (fault injection)
+	failed   map[int]bool        // world ranks marked failed (fault injection)
+	failKind map[int]FailureKind // why each failed rank is unreachable
 
 	// failHooks run after a rank is marked failed: transports close the
 	// rank's sockets, the HMPI runtime removes it from the free pool and
@@ -94,6 +95,18 @@ type World struct {
 	// rec, when non-nil, is the structured event recorder of the
 	// observability subsystem (internal/trace); see recorder.go.
 	rec *trace.Recorder
+
+	// linkFilter, when non-nil, adjudicates every frame crossing a link:
+	// the chaos engine's injection point for drops, duplicates, delays and
+	// partitions (see reliable.go). Installed before Run.
+	linkFilter LinkFilter
+	// retry is the retransmit policy the reliable-delivery path applies
+	// when the filter drops a frame.
+	retry RetryPolicy
+	// linkMu guards linkStats and degradeWatch.
+	linkMu       sync.Mutex
+	linkStats    map[linkPair]*LinkStats
+	degradeWatch func(src, dst int, st LinkStats)
 }
 
 type ctxKey struct {
@@ -121,6 +134,7 @@ func NewWorld(cluster *hnoc.Cluster, placement []int) *World {
 		nextCtx:  1,
 		ctxTab:   make(map[ctxKey]int64),
 		failed:   make(map[int]bool),
+		failKind: make(map[int]FailureKind),
 		revoked:  make(map[int64]bool),
 		agreeTab: make(map[ctxKey]*agreeState),
 	}
@@ -187,15 +201,25 @@ func (w *World) allocContext(parent, seq int64) int64 {
 // converts into an error return on the communicating process. Fail is
 // idempotent; after marking it runs the registered failure hooks and wakes
 // every blocked operation so survivors observe the failure.
-func (w *World) Fail(rank int) {
+func (w *World) Fail(rank int) { w.failWithKind(rank, FailureCrash) }
+
+// FailPartitioned marks a process unreachable due to a suspected network
+// partition rather than a crash: the rank is excised exactly as by Fail,
+// but the *ProcessFailedError surfaced to its peers carries
+// FailurePartition, so recovery code can distinguish a machine that died
+// from one that is merely cut off (and may come back).
+func (w *World) FailPartitioned(rank int) { w.failWithKind(rank, FailurePartition) }
+
+func (w *World) failWithKind(rank int, kind FailureKind) {
 	w.failedMu.Lock()
 	if w.failed[rank] {
 		w.failedMu.Unlock()
 		return
 	}
 	w.failed[rank] = true
+	w.failKind[rank] = kind
 	w.failedMu.Unlock()
-	w.procs[rank].mbox.close()
+	w.procs[rank].mbox.close(kind)
 	// Wake every blocked receiver so it can notice the failure.
 	for _, p := range w.procs {
 		p.mbox.notify()
@@ -247,12 +271,62 @@ func (w *World) IsFailed(rank int) bool {
 	return w.failed[rank]
 }
 
-// ProcessFailedError reports communication with a failed process.
+// FailedKind returns why a failed rank is unreachable (crash or suspected
+// partition). For a rank that has not failed it returns FailureCrash and
+// false.
+func (w *World) FailedKind(rank int) (FailureKind, bool) {
+	w.failedMu.RLock()
+	defer w.failedMu.RUnlock()
+	if !w.failed[rank] {
+		return FailureCrash, false
+	}
+	return w.failKind[rank], true
+}
+
+// failedError builds the error for communication with a failed rank,
+// carrying the recorded failure kind.
+func (w *World) failedError(rank int) *ProcessFailedError {
+	kind, _ := w.FailedKind(rank)
+	return &ProcessFailedError{Rank: rank, Kind: kind}
+}
+
+// FailureKind disambiguates why a peer is unreachable: a crashed process
+// (the classic crash-stop model) or a suspected network partition — the
+// peer may be healthy but traffic to it no longer gets through. Recovery
+// treats both by excising the rank, but the distinction matters to the
+// layer above: a partitioned machine should be routed around, not written
+// off.
+type FailureKind int
+
+const (
+	// FailureCrash: the process is dead (socket closed, heartbeat silence
+	// towards every peer, or injected kill).
+	FailureCrash FailureKind = iota
+	// FailurePartition: the process is unreachable but not provably dead
+	// (retransmissions exhausted on a live peer, or heartbeat silence
+	// towards only some peers while others still hear it).
+	FailurePartition
+)
+
+func (k FailureKind) String() string {
+	if k == FailurePartition {
+		return "partition"
+	}
+	return "crash"
+}
+
+// ProcessFailedError reports communication with a failed process. Kind
+// distinguishes a crashed peer from one cut off by a suspected network
+// partition; consume it with FailureKindOf or IsPartitionError.
 type ProcessFailedError struct {
-	Rank int // world rank of the failed process
+	Rank int         // world rank of the failed process
+	Kind FailureKind // why the process is unreachable
 }
 
 func (e *ProcessFailedError) Error() string {
+	if e.Kind == FailurePartition {
+		return fmt.Sprintf("mpi: process %d is unreachable (suspected network partition)", e.Rank)
+	}
 	return fmt.Sprintf("mpi: process %d has failed", e.Rank)
 }
 

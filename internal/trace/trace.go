@@ -53,6 +53,9 @@ const (
 	KindAgree
 	KindShrink
 	KindKill
+	KindLinkFault
+	KindRetransmit
+	KindDegrade
 )
 
 var kindNames = [...]string{
@@ -70,6 +73,9 @@ var kindNames = [...]string{
 	KindAgree:         "agree",
 	KindShrink:        "shrink",
 	KindKill:          "kill",
+	KindLinkFault:     "link_fault_injected",
+	KindRetransmit:    "retransmit",
+	KindDegrade:       "degrade_reselect",
 }
 
 func (k Kind) String() string {
