@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench profile check lint figures examples trace clean
+.PHONY: all build test race bench profile check lint verify figures examples trace clean
 
 all: build test
 
@@ -15,19 +15,30 @@ check: lint
 	$(GO) build ./...
 	$(GO) test -race ./...
 
-# Static analysis: go vet, the HMPI analyzers (hmpivet) over the tree,
-# the PMDL lints over every shipped model, and staticcheck when the
-# binary is on PATH (CI installs a pinned version; locally it is
-# optional so an offline checkout still gates on the in-tree checks).
+# Static analysis: go vet, the HMPI analyzers (hmpivet) over the tree —
+# a directory walk sweeps every shipped .mpc model too — the PMDL lints,
+# and staticcheck when the binary is on PATH (CI installs a pinned
+# version; locally it is optional so an offline checkout still gates on
+# the in-tree checks).
 lint:
 	$(GO) vet ./...
-	$(GO) run ./cmd/hmpivet . models/*.mpc
+	$(GO) run ./cmd/hmpivet .
 	for m in models/*.mpc; do $(GO) run ./cmd/pmc -lint $$m || exit 1; done
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipping (CI runs it)"; \
 	fi
+
+# Dynamic verification: record fresh traces — a clean EM3D run on the
+# paper's network and a seeded self-healing chaos run — and replay both
+# through hmpiverify. Any semantic violation (deadlock, collective
+# divergence, leaked group, phantom message) fails the target.
+verify:
+	$(GO) run ./cmd/hmpirun -app em3d -mode hmpi -tracefile verify_em3d.trace
+	$(GO) run ./cmd/hmpirun -app em3d -p 6 -chaos "2@0.004;4@0.008" -tracefile verify_chaos.trace
+	$(GO) run ./cmd/hmpiverify verify_em3d.trace verify_chaos.trace
+	rm -f verify_em3d.trace verify_chaos.trace
 
 test:
 	$(GO) test ./...
@@ -79,4 +90,4 @@ examples:
 	$(GO) run ./examples/tcptransport
 
 clean:
-	rm -rf out test_output.txt bench_output.txt BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json cpu.pprof mem.pprof em3d.trace em3d.metrics.json em3d.chrome.json
+	rm -rf out test_output.txt bench_output.txt BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json cpu.pprof mem.pprof em3d.trace em3d.metrics.json em3d.chrome.json verify_em3d.trace verify_chaos.trace hmpivet.json

@@ -1,0 +1,32 @@
+// Seeded violations for the -json golden test: one groupfree leak and
+// one deadlock cycle.
+package scratch
+
+type Group struct{}
+
+func (g *Group) Rank() int { return 0 }
+
+type Comm struct{}
+
+func (c *Comm) Rank() int                       { return 0 }
+func (c *Comm) Send(dst, tag int, data []byte)  {}
+func (c *Comm) Recv(src, tag int) ([]byte, int) { return nil, 0 }
+
+type Process struct{}
+
+func (h *Process) GroupCreate(m any) (*Group, error) { return nil, nil }
+
+func leak(h *Process) {
+	g, _ := h.GroupCreate(nil)
+	_ = g.Rank()
+}
+
+func cycle(c *Comm) {
+	if c.Rank() == 0 {
+		_, _ = c.Recv(1, 4)
+		c.Send(1, 4, nil)
+	} else if c.Rank() == 1 {
+		_, _ = c.Recv(0, 4)
+		c.Send(0, 4, nil)
+	}
+}

@@ -101,7 +101,8 @@ func main() {
 		victim := g.WorldRanks()[g.Size()-1]
 		if h.Rank() == victim {
 			rt2.InjectFailure(victim)
-			return nil // silent corpse; peers see the failure
+			// Silent corpse; peers see the failure.
+			return nil //hmpivet:ignore groupfree -- the victim just failed itself: a corpse cannot free its group, the survivors dissolve it via GroupRecreate
 		}
 		// The work phase aborts on the failure; Catch it, revoke so no
 		// member stays blocked on a live peer, and agree on who died —

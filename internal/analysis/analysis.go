@@ -34,9 +34,19 @@ type Pass struct {
 	Files []*ast.File
 	// Pkg is the package directory relative to the analysis root.
 	Pkg string
+	// Prog is the cross-package program view (function index and
+	// interprocedural summaries) over every package of this Run. Never
+	// nil when driven through Run.
+	Prog *Program
+	// pkg is the package under analysis, for Prog resolution.
+	pkg *Package
 
 	diags *[]Diagnostic
 }
+
+// Package returns the package under analysis (the receiver for
+// Prog.Resolve's same-package preference).
+func (p *Pass) Package() *Package { return p.pkg }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
@@ -59,14 +69,21 @@ func (d Diagnostic) String() string {
 }
 
 // Run applies every analyzer to every package and returns the findings
-// sorted by position. Findings on lines carrying a
-// "hmpivet:ignore <name>" (or bare "hmpivet:ignore") comment are
-// suppressed — the escape hatch for runtime internals that implement the
-// very contracts the analyzers enforce.
+// sorted by position. A finding is suppressed only by a well-formed
+// directive on the reported line naming its analyzer and justifying the
+// exception:
+//
+//	//hmpivet:ignore <name>[,<name>...] -- <reason>
+//
+// A directive with no analyzer name (a blanket ignore) or no reason is
+// itself reported as a finding: the escape hatch must say what it
+// disables and why.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	prog := BuildProgram(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		ignored := ignoreLines(pkg)
+		ignored, bad := ignoreLines(pkg)
+		diags = append(diags, bad...)
 		for _, a := range analyzers {
 			var local []Diagnostic
 			pass := &Pass{
@@ -74,6 +91,8 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Fset:     pkg.Fset,
 				Files:    pkg.Files,
 				Pkg:      pkg.Dir,
+				Prog:     prog,
+				pkg:      pkg,
 				diags:    &local,
 			}
 			if err := a.Run(pass); err != nil {
@@ -81,7 +100,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 			for _, d := range local {
 				if names, ok := ignored[lineKey{d.Pos.Filename, d.Pos.Line}]; ok {
-					if names == "" || containsName(names, a.Name) {
+					if containsName(names, a.Name) {
 						continue
 					}
 				}
@@ -110,24 +129,44 @@ type lineKey struct {
 	line int
 }
 
-// ignoreLines maps source lines carrying an ignore directive to the
-// (possibly empty) analyzer list the directive names.
-func ignoreLines(pkg *Package) map[lineKey]string {
+// ignoreLines maps source lines carrying a well-formed ignore directive
+// to the analyzer list it names, and reports every malformed directive —
+// blanket ignores and ignores without a `-- reason` — as a diagnostic
+// under the "hmpivet" pseudo-analyzer.
+func ignoreLines(pkg *Package) (map[lineKey]string, []Diagnostic) {
 	out := make(map[lineKey]string)
+	var bad []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				idx := strings.Index(c.Text, "hmpivet:ignore")
-				if idx < 0 {
+				// Only a comment that IS the directive counts; prose that
+				// mentions the marker mid-sentence (documentation) does not.
+				if !strings.HasPrefix(c.Text, "//hmpivet:ignore") {
 					continue
 				}
-				rest := strings.TrimSpace(c.Text[idx+len("hmpivet:ignore"):])
+				rest := strings.TrimSpace(c.Text[len("//hmpivet:ignore"):])
 				pos := pkg.Fset.Position(c.Pos())
-				out[lineKey{pos.Filename, pos.Line}] = rest
+				names, reason, found := strings.Cut(rest, "--")
+				names = strings.TrimSpace(names)
+				reason = strings.TrimSpace(reason)
+				switch {
+				case names == "":
+					bad = append(bad, Diagnostic{
+						Pos: pos, Analyzer: "hmpivet",
+						Message: "blanket //hmpivet:ignore is not allowed: name the analyzer(s), as in //hmpivet:ignore <name> -- <reason>",
+					})
+				case !found || reason == "":
+					bad = append(bad, Diagnostic{
+						Pos: pos, Analyzer: "hmpivet",
+						Message: fmt.Sprintf("//hmpivet:ignore %s needs a justification: //hmpivet:ignore %s -- <reason>", names, names),
+					})
+				default:
+					out[lineKey{pos.Filename, pos.Line}] = names
+				}
 			}
 		}
 	}
-	return out
+	return out, bad
 }
 
 func containsName(list, name string) bool {

@@ -3,6 +3,13 @@
 // contract as golang.org/x/tools/go/analysis/analysistest (with substring
 // rather than regex matching). Fixtures live under the analyzer's
 // testdata/src/<pkg> directory and only need to parse, not compile.
+//
+// Run analyses one fixture package (which may span several files — every
+// .go file of the directory is loaded). RunRoot analyses a whole fixture
+// tree of several packages in one Run, so the cross-package view
+// (analysis.Program) spans all of them: the harness for interprocedural
+// fixtures where the helper the analyzer must see lives in a sibling
+// package.
 package analysistest
 
 import (
@@ -15,6 +22,8 @@ import (
 
 // Run analyses the fixture directory with the analyzer and reports every
 // mismatch between the findings and the want comments as a test error.
+// Multi-file fixtures are supported: every .go file of the directory is
+// loaded into one package.
 func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	t.Helper()
 	pkg, err := analysis.LoadDir(dir, true)
@@ -24,7 +33,30 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	if pkg == nil {
 		t.Fatalf("no Go source in %s", dir)
 	}
-	diags, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	check(t, []*analysis.Package{pkg}, a)
+}
+
+// RunRoot analyses every package directory under root (typically
+// testdata/src) in a single Run, so interprocedural analyzers resolve
+// helpers across the fixture packages. Want comments are checked across
+// all of them.
+func RunRoot(t *testing.T, root string, a *analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.Load(root, true)
+	if err != nil {
+		t.Fatalf("loading %s: %v", root, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no Go packages under %s", root)
+	}
+	check(t, pkgs, a)
+}
+
+// check runs the analyzer over the packages and diffs findings against
+// the fixtures' want comments.
+func check(t *testing.T, pkgs []*analysis.Package, a *analysis.Analyzer) {
+	t.Helper()
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
@@ -34,13 +66,15 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 		line int
 	}
 	wants := make(map[key][]string)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				pos := pkg.Fset.Position(c.Pos())
-				for _, w := range parseWants(c.Text) {
-					k := key{pos.Filename, pos.Line}
-					wants[k] = append(wants[k], w)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := pkg.Fset.Position(c.Pos())
+					for _, w := range parseWants(c.Text) {
+						k := key{pos.Filename, pos.Line}
+						wants[k] = append(wants[k], w)
+					}
 				}
 			}
 		}

@@ -1,0 +1,13 @@
+package bufalias_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/bufalias"
+)
+
+func TestBufAlias(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), bufalias.Analyzer)
+}

@@ -1,0 +1,102 @@
+// Fixture for the bufalias analyzer. It only needs to parse: the types
+// mimic the internal/mpi buffer-pool surface syntactically.
+package a
+
+type poolBuf struct{ b []byte }
+
+func getBuf(n int) *poolBuf  { return &poolBuf{b: make([]byte, n)} }
+func (pb *poolBuf) release() {}
+
+type envelope struct{ payload []byte }
+
+func putEnv(e *envelope)          {}
+func releaseEnvelope(e *envelope) {}
+
+type conn struct{}
+
+func (c *conn) consumeWith(e *envelope, t0 float64, fn func(in []byte)) int { return 0 }
+
+var stash []byte
+
+func retainsParam(c *conn, e *envelope) {
+	c.consumeWith(e, 0, func(in []byte) {
+		stash = in // want "retains its pooled argument"
+	})
+}
+
+func retainsViaAlias(c *conn, e *envelope) {
+	c.consumeWith(e, 0, func(in []byte) {
+		p := in
+		stash = p // want "retains its pooled argument"
+	})
+}
+
+func copiesOK(c *conn, e *envelope) {
+	dst := make([]byte, 8)
+	c.consumeWith(e, 0, func(in []byte) {
+		copy(dst, in)
+	})
+}
+
+func appendSpreadOK(c *conn, e *envelope) {
+	var dst []byte
+	c.consumeWith(e, 0, func(in []byte) {
+		dst = append(dst, in...)
+	})
+}
+
+func appendValueBad(c *conn, e *envelope) {
+	var frames [][]byte
+	c.consumeWith(e, 0, func(in []byte) {
+		frames = append(frames, in) // want "appends its pooled argument"
+	})
+}
+
+func useAfterRelease() []byte {
+	pb := getBuf(8)
+	pb.release()
+	return pb.b // want "use of pb after release"
+}
+
+func releaseAtEndOK() int {
+	pb := getBuf(8)
+	n := len(pb.b)
+	pb.release()
+	return n
+}
+
+func deferReleaseOK() []byte {
+	pb := getBuf(8)
+	defer pb.release()
+	out := make([]byte, len(pb.b))
+	copy(out, pb.b)
+	return out
+}
+
+func rebindOK() []byte {
+	pb := getBuf(8)
+	pb.release()
+	pb = getBuf(16)
+	return pb.b
+}
+
+func doubleRelease() {
+	pb := getBuf(8)
+	pb.release()
+	pb.release() // want "use of pb after release"
+}
+
+func envelopeAfterPut(e *envelope) []byte {
+	putEnv(e)
+	return e.payload // want "use of e after release"
+}
+
+func branchReleaseOK(e *envelope, drop bool) []byte {
+	// The release happens only on the drop path; the fall-through use
+	// is fine.
+	if drop {
+		releaseEnvelope(e)
+		return nil
+	}
+	return e.payload
+}

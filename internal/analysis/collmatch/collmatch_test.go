@@ -1,0 +1,13 @@
+package collmatch_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/collmatch"
+)
+
+func TestCollMatch(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), collmatch.Analyzer)
+}

@@ -1,0 +1,13 @@
+package deadlock_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/deadlock"
+)
+
+func TestDeadlock(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), deadlock.Analyzer)
+}

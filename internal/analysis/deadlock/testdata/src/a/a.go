@@ -1,0 +1,80 @@
+// Fixture for the deadlock analyzer. It only needs to parse: the types
+// mimic the HMPI Comm surface syntactically.
+package a
+
+type Comm struct{}
+
+func (c *Comm) Rank() int                       { return 0 }
+func (c *Comm) Send(dst, tag int, data []byte)  {}
+func (c *Comm) Recv(src, tag int) ([]byte, int) { return nil, 0 }
+
+const tagWork = 3
+
+func headToHead(c *Comm) {
+	if c.Rank() == 0 {
+		_, _ = c.Recv(1, 5) // want "head-to-head receive deadlock"
+		c.Send(1, 5, nil)
+	} else if c.Rank() == 1 {
+		_, _ = c.Recv(0, 5)
+		c.Send(0, 5, nil)
+	}
+}
+
+func recvOnlyCycle(c *Comm) {
+	me := c.Rank()
+	if me == 0 {
+		_, _ = c.Recv(1, 9) // want "head-to-head receive deadlock"
+	} else if me == 1 {
+		_, _ = c.Recv(0, 9)
+	}
+}
+
+func sendFirstOK(c *Comm) {
+	// One side sends before receiving: the exchange drains.
+	if c.Rank() == 0 {
+		_, _ = c.Recv(1, 5)
+		c.Send(1, 5, nil)
+	} else if c.Rank() == 1 {
+		c.Send(0, 5, nil)
+		_, _ = c.Recv(0, 5)
+	}
+}
+
+func externalPeersOK(c *Comm) {
+	// Receives from outside the branch pair are assumed satisfied by
+	// code this function cannot see.
+	if c.Rank() == 0 {
+		_, _ = c.Recv(2, 5)
+	} else if c.Rank() == 1 {
+		_, _ = c.Recv(3, 5)
+	}
+}
+
+func namedTagsOK(c *Comm) {
+	if c.Rank() == 0 {
+		c.Send(1, tagWork, nil)
+		_, _ = c.Recv(1, tagWork)
+	} else if c.Rank() == 1 {
+		_, _ = c.Recv(0, tagWork)
+		c.Send(0, tagWork, nil)
+	}
+}
+
+func tagMismatchStillDeadlocks(c *Comm) {
+	// The send exists but with a provably different literal tag: the
+	// receives still never match.
+	if c.Rank() == 0 {
+		c.Send(1, 8, nil)
+		_, _ = c.Recv(1, 5) // want "head-to-head receive deadlock"
+	} else if c.Rank() == 1 {
+		c.Send(0, 8, nil)
+		_, _ = c.Recv(0, 5)
+	}
+}
+
+func nonLiteralRankOK(c *Comm, root int) {
+	// Non-literal rank comparisons are outside the replay's reach.
+	if c.Rank() == root {
+		_, _ = c.Recv(1, 5)
+	}
+}

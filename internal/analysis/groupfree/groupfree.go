@@ -4,7 +4,8 @@
 // member processes busy forever — later GroupCreate calls then select from
 // a shrunken free pool, silently degrading placement.
 //
-// The analysis is syntactic and flow-sensitive within one function body:
+// The analysis is flow-sensitive within one function body and follows
+// handles across function boundaries through analysis.Program summaries:
 //
 //   - a create result that is never passed to GroupFree (and never
 //     escapes the function) is reported at the creation site;
@@ -12,10 +13,18 @@
 //     reported, unless the enclosing branch condition mentions the group
 //     variable or its paired error (the idioms `if err != nil { return }`
 //     — the group is nil on error — and `if !h.IsMember(g) { return }`
-//     — non-selected processes hold nil).
+//     — non-selected processes hold nil);
+//   - a handle passed to a helper the program view can resolve is judged
+//     by the helper's summary: a helper that reaches GroupFree counts as
+//     a free, a helper that merely reads the handle leaves it live (the
+//     false negative the purely syntactic version had), and a helper
+//     that stores or returns it takes ownership;
+//   - a call resolving only to helpers that return a handle they created
+//     starts a tracked lifetime in the caller, exactly like a direct
+//     GroupCreate.
 //
-// A value that escapes (returned, stored, or passed to any call other
-// than GroupFree/IsMember) is trusted to be freed elsewhere.
+// A value that escapes (returned, stored, or passed to a call the
+// program view cannot resolve) is trusted to be freed elsewhere.
 package groupfree
 
 import (
@@ -29,12 +38,6 @@ var Analyzer = &analysis.Analyzer{
 	Name: "groupfree",
 	Doc:  "report HMPI groups created but not released with GroupFree on all analysable paths",
 	Run:  run,
-}
-
-var createMethods = map[string]bool{
-	"GroupCreate":      true,
-	"GroupCreateChild": true,
-	"GroupRecreate":    true,
 }
 
 func run(pass *analysis.Pass) error {
@@ -263,7 +266,9 @@ func (w *walker) stmt(s ast.Stmt, guards map[string]bool) {
 }
 
 // createTarget recognises `g, err := h.GroupCreate(...)` (and the other
-// creating methods) and builds its track.
+// creating methods) and builds its track. A call resolving only to
+// helpers whose summary says they return an owned handle counts as a
+// create too: the caller inherits the free obligation.
 func (w *walker) createTarget(x *ast.AssignStmt) (*track, bool) {
 	if len(x.Rhs) != 1 {
 		return nil, false
@@ -272,8 +277,13 @@ func (w *walker) createTarget(x *ast.AssignStmt) (*track, bool) {
 	if !ok {
 		return nil, false
 	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || !createMethods[sel.Sel.Name] {
+	what := ""
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && analysis.IsCreateName(sel.Sel.Name) {
+		what = sel.Sel.Name
+	} else if name := analysis.CalleeName(call); w.pass.Prog.CallReturnsOwned(name, len(call.Args), w.pass.Package()) {
+		what = name
+	}
+	if what == "" {
 		return nil, false
 	}
 	if len(x.Lhs) == 0 {
@@ -283,7 +293,7 @@ func (w *walker) createTarget(x *ast.AssignStmt) (*track, bool) {
 	if !ok || gid.Name == "_" {
 		return nil, false
 	}
-	tr := &track{name: gid.Name, pos: x, what: sel.Sel.Name}
+	tr := &track{name: gid.Name, pos: x, what: what}
 	if len(x.Lhs) > 1 {
 		if eid, ok := x.Lhs[1].(*ast.Ident); ok {
 			tr.errName = eid.Name
@@ -317,8 +327,8 @@ func (w *walker) scanExpr(e ast.Expr) {
 
 	case *ast.CallExpr:
 		if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
-			switch sel.Sel.Name {
-			case "GroupFree":
+			switch {
+			case sel.Sel.Name == "GroupFree":
 				w.scanExpr(sel.X)
 				for _, a := range x.Args {
 					if id, ok := a.(*ast.Ident); ok {
@@ -330,7 +340,7 @@ func (w *walker) scanExpr(e ast.Expr) {
 					w.scanExpr(a)
 				}
 				return
-			case "IsMember":
+			case sel.Sel.Name == "IsMember":
 				// Membership tests read the handle without taking it.
 				w.scanExpr(sel.X)
 				for _, a := range x.Args {
@@ -340,11 +350,47 @@ func (w *walker) scanExpr(e ast.Expr) {
 					w.scanExpr(a)
 				}
 				return
+			case analysis.IsCreateName(sel.Sel.Name):
+				// GroupRecreate(old, ...) consumes the old handle: the
+				// runtime dissolves it as part of building the successor.
+				w.scanExpr(sel.X)
+				for _, a := range x.Args {
+					if id, ok := a.(*ast.Ident); ok {
+						if tr := w.lookup(id.Name); tr != nil {
+							tr.freed = true
+							continue
+						}
+					}
+					w.scanExpr(a)
+				}
+				return
 			}
 		}
+		// A tracked handle passed to a resolvable helper is judged by the
+		// helper's summary; passing it to an unknown callee escapes it
+		// (trusted to be freed elsewhere), as before.
+		name := analysis.CalleeName(x)
+		prog, from := w.pass.Prog, w.pass.Package()
 		w.scanExpr(x.Fun)
-		for _, a := range x.Args {
-			w.scanExpr(a)
+		for ai, a := range x.Args {
+			id, ok := a.(*ast.Ident)
+			if !ok {
+				w.scanExpr(a)
+				continue
+			}
+			tr := w.lookup(id.Name)
+			if tr == nil {
+				w.scanExpr(a)
+				continue
+			}
+			switch {
+			case prog.FreesArg(name, len(x.Args), ai, from):
+				tr.freed = true
+			case name == "" || prog.EscapesArg(name, len(x.Args), ai, from):
+				tr.escaped = true
+			}
+			// Otherwise a known helper only reads the handle: a plain
+			// use, the lifetime obligation stays here.
 		}
 
 	case *ast.FuncLit:

@@ -11,3 +11,7 @@ import (
 func TestGroupFree(t *testing.T) {
 	analysistest.Run(t, filepath.Join("testdata", "src", "a"), groupfree.Analyzer)
 }
+
+func TestGroupFreeCrossPackage(t *testing.T) {
+	analysistest.RunRoot(t, filepath.Join("testdata", "crosspkg"), groupfree.Analyzer)
+}

@@ -1,0 +1,23 @@
+// Cross-package fixture: whether a handle passed to a helper in the
+// sibling util package is freed, read, or retained is decided by that
+// helper's summary, resolved across the package boundary.
+package a
+
+type Group struct{}
+
+func (g *Group) Rank() int { return 0 }
+
+type Process struct{}
+
+func (h *Process) GroupCreate(m any, args ...any) (*Group, error) { return nil, nil }
+func (h *Process) GroupFree(g *Group) error                       { return nil }
+
+func freedAcrossPackages(h *Process) {
+	g, _ := h.GroupCreate(nil)
+	util.Release(h, g) // resolution is name-based: the util candidate frees
+}
+
+func readAcrossPackages(h *Process) {
+	g, _ := h.GroupCreate(nil) // want "never freed"
+	_ = util.Inspect(g)        // util.Inspect only reads the handle
+}

@@ -1,0 +1,22 @@
+// Sibling fixture package: helpers the a package calls across a package
+// boundary. The analyzers resolve them through the cross-package program
+// view built by analysis.Run.
+package util
+
+type Group struct{}
+
+func (g *Group) Size() int { return 0 }
+
+type Process struct{}
+
+func (h *Process) GroupFree(g *Group) error { return nil }
+
+// Release frees the group on behalf of the caller.
+func Release(h *Process, g *Group) error {
+	return h.GroupFree(g)
+}
+
+// Inspect only reads the handle; the caller keeps the free obligation.
+func Inspect(g *Group) int {
+	return g.Size()
+}

@@ -89,9 +89,48 @@ func escapesOK(h *Process) *Group {
 	return g // ownership moves to the caller
 }
 
-func passedAlongOK(h *Process) {
+// Regression: the syntactic analyzer trusted any call to free the handle;
+// the program view knows sink only reads it, so the obligation stays.
+func passedToInertHelper(h *Process) {
+	g, _ := h.GroupCreate(nil) // want "never freed"
+	sink(g)
+}
+
+func freedByHelper(h *Process) {
 	g, _ := h.GroupCreate(nil)
-	sink(g) // conservatively assume the callee frees it
+	release(h, g) // helper reaches GroupFree: counts as the free
+}
+
+func freedByHelperChain(h *Process) {
+	g, _ := h.GroupCreate(nil)
+	releaseIndirect(h, g) // wrapper of a wrapper still converges
+}
+
+func storedByHelperOK(h *Process) {
+	g, _ := h.GroupCreate(nil)
+	keep(g) // helper retains the handle: ownership transfers
+}
+
+func ownedFromHelper(h *Process) error {
+	g, err := mkGroup(h) // want "never freed"
+	if err != nil {
+		return err
+	}
+	_ = g.Rank()
+	return nil
+}
+
+func ownedFromHelperFreed(h *Process) error {
+	g, err := mkGroup(h)
+	if err != nil {
+		return err
+	}
+	return h.GroupFree(g)
+}
+
+func unknownCalleeOK(h *Process, take func(g *Group)) {
+	g, _ := h.GroupCreate(nil)
+	take(g) // unresolvable callee: trusted to manage the handle
 }
 
 func recreateConsumesOld(h *Process) error {

@@ -1,0 +1,30 @@
+// Second file of the fixture package: the helpers a.go passes handles
+// to. Keeping them in a separate file exercises multi-file loading — the
+// analyzer must resolve them through the program view, not file-local
+// syntax.
+package a
+
+var kept *Group
+
+// release frees the group on behalf of the caller.
+func release(h *Process, g *Group) {
+	_ = h.GroupFree(g)
+}
+
+// releaseIndirect frees through another helper; summaries must reach a
+// fixpoint across the chain.
+func releaseIndirect(h *Process, g *Group) {
+	release(h, g)
+}
+
+// keep retains the handle: ownership transfers to the callee.
+func keep(g *Group) {
+	kept = g
+}
+
+// mkGroup returns a handle it created: callers inherit the obligation to
+// free it.
+func mkGroup(h *Process) (*Group, error) {
+	g, err := h.GroupCreate(nil)
+	return g, err
+}

@@ -28,7 +28,7 @@ func endOnly(p *Proc) {
 }
 
 func mismatchedNames(p *Proc) {
-	p.TraceRegionBegin("compute") // want "begun but never ended"
+	p.TraceRegionBegin("compute")  // want "begun but never ended"
 	p.TraceRegionEnd("comunicate") // want "ended but never begun"
 }
 
@@ -78,5 +78,5 @@ func closureUnclosed(p *Proc) {
 }
 
 func ignored(p *Proc) {
-	p.TraceRegionBegin("manual") //hmpivet:ignore tracescope — closed by a helper the analysis cannot follow
+	p.TraceRegionBegin("manual") //hmpivet:ignore tracescope -- closed by a helper the analysis cannot follow
 }

@@ -277,10 +277,10 @@ func TestPartitionFilterWindow(t *testing.T) {
 		at       float64
 		drop     bool
 	}{
-		{0, 2, 0.6, true},  // crossing, inside window
-		{2, 0, 0.6, true},  // crossing, reverse direction
-		{0, 1, 0.6, false}, // same side
-		{0, 2, 0.4, false}, // before window
+		{0, 2, 0.6, true},   // crossing, inside window
+		{2, 0, 0.6, true},   // crossing, reverse direction
+		{0, 1, 0.6, false},  // same side
+		{0, 2, 0.4, false},  // before window
 		{0, 2, 0.71, false}, // after window: a retransmission gets through
 	} {
 		out := f(c.src, c.dst, vclock.Time(c.at), 1, 0)
@@ -302,10 +302,10 @@ func TestEmptyScheduleHasNilFilter(t *testing.T) {
 
 func TestLinkFaultStringForms(t *testing.T) {
 	for _, spec := range []string{
-		"link:0-1@0.25:drop=0.5",           // open-ended window
-		"link:0-1@0.25+0.5:dup=0.25",       // bounded window
-		"part:{0}|{1}@0.125",               // open-ended partition
-		"link:0-1@0:drop=0",                // explicit no-op fault
+		"link:0-1@0.25:drop=0.5",     // open-ended window
+		"link:0-1@0.25+0.5:dup=0.25", // bounded window
+		"part:{0}|{1}@0.125",         // open-ended partition
+		"link:0-1@0:drop=0",          // explicit no-op fault
 	} {
 		s, err := Parse(spec, 4)
 		if err != nil {

@@ -106,6 +106,10 @@ func (h *Process) GroupRecreate(g *Group, model *pmdl.Model, args ...any) (*Grou
 	g.comm.AgreeFailed()
 	g.freed = true
 	g.rank = -1
+	// The old group is dissolved from this survivor's point of view; the
+	// trace must say so, or the lifecycle accounting would report the
+	// recreated-away group as leaked.
+	h.recordGroupFree(g.key)
 	if !isParent {
 		// The parent coordinates the recreation; if it died, nobody will
 		// re-run the selection, and waiting for its message would hang.
@@ -200,6 +204,7 @@ func (h *Process) resilientHost(plan ResilientPlan, work func(g *Group) error) e
 			g.comm.AgreeFailed()
 			g.freed = true
 			g.rank = -1
+			h.recordGroupFree(g.key)
 		}
 		model, args, err := plan(avail)
 		var inst *pmdl.Instance
@@ -259,6 +264,7 @@ func (h *Process) resilientHost(plan ResilientPlan, work func(g *Group) error) e
 			// application error, which is not retried). Dismiss the
 			// parked processes.
 			h.ctrlTo(excludeRanks(h.rt.freeRanks(), g.ranks), ctrlDone)
+			h.recordGroupFree(g.key)
 			return werr
 		}
 		// A member failed; loop to recreate over the survivors.
@@ -296,6 +302,7 @@ func (h *Process) resilientWorker(work func(g *Group) error) error {
 		if len(g.comm.AgreeFailed()) == 0 {
 			d := h.rt.degrade
 			if d == nil || !g.comm.AgreeVote(d.shouldReselect()) {
+				h.recordGroupFree(g.key)
 				return werr
 			}
 			// Degrade-reselect, agreed with the host: rejoin through the

@@ -313,7 +313,7 @@ func (h *Process) receiveGroup() (*Group, error) {
 	if debugGroups {
 		fmt.Printf("[dbg] free %d awaiting decision\n", me)
 	}
-	payload, _ := comm.Recv(mpi.AnySource, tagGroupCreate) //hmpivet:ignore tagconst — asymmetric protocol: the parent side sends these tags from selectAndNotify
+	payload, _ := comm.Recv(mpi.AnySource, tagGroupCreate) //hmpivet:ignore tagconst -- asymmetric protocol: the parent side sends these tags from selectAndNotify
 	msg := mpi.BytesInt64(payload)
 	if msg[0] < 0 {
 		return nil, fmt.Errorf("hmpi: group creation aborted by the parent")

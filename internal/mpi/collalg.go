@@ -23,7 +23,7 @@ func reduceLenCheck(what string, got, want int) {
 // must match its length; the received buffer is recycled, not retained.
 func (c *Comm) collRecvInto(src, tag int, dst []byte, what string) {
 	t0 := c.p.clock.Now()
-	e := c.p.mbox.get(c.sel(src, tag), c.collWatch())
+	e := c.mboxGet("coll", c.sel(src, tag), c.collWatch())
 	c.consumeWith(e, t0, func(in []byte) {
 		reduceLenCheck(what, len(in), len(dst))
 		copy(dst, in)
@@ -359,7 +359,7 @@ func (c *Comm) gatherBinomial(root int, data []byte) [][]byte {
 		}
 		child := vrank | mask
 		if child < n {
-			c.consumeWith(c.p.mbox.get(c.sel((child+root)%n, tagGather), c.collWatch()), c.p.clock.Now(), func(in []byte) {
+			c.consumeWith(c.mboxGet("coll", c.sel((child+root)%n, tagGather), c.collWatch()), c.p.clock.Now(), func(in []byte) {
 				bundle = append(bundle, in...)
 			})
 		}
@@ -414,7 +414,7 @@ func (c *Comm) scatterBinomial(root int, parts [][]byte) []byte {
 		}
 		mine = append([]byte(nil), parts[root]...)
 	} else {
-		c.consumeWith(c.p.mbox.get(c.sel(parent, tagScatter), c.collWatch()), c.p.clock.Now(), func(in []byte) {
+		c.consumeWith(c.mboxGet("coll", c.sel(parent, tagScatter), c.collWatch()), c.p.clock.Now(), func(in []byte) {
 			bundleEach(in, func(v int, d []byte) {
 				if v == vrank {
 					mine = append([]byte(nil), d...)

@@ -430,7 +430,7 @@ func (c *Comm) collCheck() {
 // returned payload is retained by the caller.
 func (c *Comm) collRecv(src, tag int) []byte {
 	t0 := c.p.clock.Now()
-	e := c.p.mbox.get(c.sel(src, tag), c.collWatch())
+	e := c.mboxGet("coll", c.sel(src, tag), c.collWatch())
 	data, _ := c.consume(e, t0)
 	return data
 }
@@ -441,7 +441,7 @@ func (c *Comm) collRecv(src, tag int) []byte {
 // and fold the timing in rank order afterwards, so one slow child does
 // not serialise the drain while simulated times stay deterministic.
 func (c *Comm) collGetAny(srcs []int, tag int) *envelope {
-	return c.p.mbox.get(recvSel{ctx: c.s.id, src: AnySource, tag: tag, srcs: srcs}, c.collWatch())
+	return c.mboxGet("coll", recvSel{ctx: c.s.id, src: AnySource, tag: tag, srcs: srcs}, c.collWatch())
 }
 
 // collReduceRecv receives from src and folds the payload into acc with
@@ -449,7 +449,7 @@ func (c *Comm) collGetAny(srcs []int, tag int) *envelope {
 // path. opName appears in the length-mismatch panic.
 func (c *Comm) collReduceRecv(src, tag int, acc []byte, op Op, opName string) {
 	t0 := c.p.clock.Now()
-	e := c.p.mbox.get(c.sel(src, tag), c.collWatch())
+	e := c.mboxGet("coll", c.sel(src, tag), c.collWatch())
 	c.consumeWith(e, t0, func(in []byte) {
 		reduceLenCheck(opName, len(in), len(acc))
 		op(acc, in)
@@ -490,10 +490,15 @@ func (c *Comm) finishRecvTiming(e *envelope, t0 vclock.Time) Status {
 	}
 	if r := p.world.rec; r != nil {
 		wall := r.NowNS()
+		var anySrc int64
+		if p.lastRecvAnySrc {
+			anySrc = 1
+		}
 		r.Emit(p.rank, trace.Event{
 			Rank: int32(p.rank), Kind: trace.KindRecv, Peer: int32(e.src),
 			Tag: int32(e.tag), Ctx: e.ctx, Bytes: int64(len(e.data)),
 			Start: t0, End: p.clock.Now(), WallStart: wall, WallEnd: wall,
+			A1: anySrc,
 		})
 	}
 	return Status{Source: c.s.rankOf(e.src), Tag: e.tag, Bytes: len(e.data)}
@@ -531,7 +536,7 @@ func (c *Comm) consumeWith(e *envelope, t0 vclock.Time, fn func(in []byte)) Stat
 // one sender/receiver pair are non-overtaking.
 func (c *Comm) Recv(src, tag int) ([]byte, Status) {
 	t0 := c.p.clock.Now()
-	e := c.p.mbox.get(c.sel(src, tag), c.failWatch(src))
+	e := c.mboxGet("recv", c.sel(src, tag), c.failWatch(src))
 	return c.consume(e, t0)
 }
 
@@ -552,7 +557,7 @@ func (r *Request) Wait() ([]byte, Status) {
 	r.done = true
 	if r.recv {
 		t0 := r.c.p.clock.Now()
-		e := r.c.p.mbox.get(r.c.sel(r.src, r.tag), r.c.failWatch(r.src))
+		e := r.c.mboxGet("recv", r.c.sel(r.src, r.tag), r.c.failWatch(r.src))
 		r.data, r.status = r.c.consume(e, t0)
 		return r.data, r.status
 	}
@@ -574,6 +579,7 @@ func (r *Request) Test() (bool, []byte, Status) {
 		if e == nil {
 			return false, nil, Status{}
 		}
+		r.c.p.lastRecvAnySrc = r.src == AnySource
 		r.done = true
 		r.data, r.status = r.c.consume(e, r.c.p.clock.Now())
 		return true, r.data, r.status
@@ -640,7 +646,7 @@ func (c *Comm) Iprobe(src, tag int) (bool, Status) {
 // overlapping the two transfers as MPI_Sendrecv does.
 func (c *Comm) Sendrecv(dst, sendTag int, data []byte, src, recvTag int) ([]byte, Status) {
 	sreq := c.Isend(dst, sendTag, data)
-	buf, st := c.Recv(src, recvTag) //hmpivet:ignore tagconst — forwarding the caller's two tags is the operation itself
+	buf, st := c.Recv(src, recvTag) //hmpivet:ignore tagconst -- forwarding the caller's two tags is the operation itself
 	sreq.Wait()
 	return buf, st
 }

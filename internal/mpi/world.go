@@ -419,6 +419,13 @@ type Proc struct {
 
 	commWorld *Comm
 	reqSeq    int64
+
+	// lastRecvAnySrc records whether the most recently matched receive on
+	// this rank was posted with AnySource. Written and read only by the
+	// rank's own goroutine, between matching an envelope and applying its
+	// receive timing; finishRecvTiming folds it into the recv event's A1
+	// so trace analyses can tell wildcard matches from directed ones.
+	lastRecvAnySrc bool
 }
 
 // Stats counts the work a process performed.

@@ -1,0 +1,156 @@
+package verify_test
+
+// End-to-end: record real runs of the HMPI runtime — a clean
+// model-selected group and a chaos run with a mid-work failure and ULFM
+// recovery — and check that the verifier finds nothing wrong with
+// either. These are the acceptance runs: the verifier must stay silent
+// on correct executions, recreates included, or its violations mean
+// nothing.
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/hmpi"
+	"repro/internal/hnoc"
+	"repro/internal/mpi"
+	"repro/internal/pmdl"
+	"repro/internal/trace"
+	"repro/internal/verify"
+)
+
+// ringModelSrc is the small irregular model the hmpi tests use: p
+// processors exchanging boundary data in a ring.
+const ringModelSrc = `
+algorithm Ring(int p, int v[p], int b) {
+  coord I=p;
+  link (L=p) {
+    I>=0 && ((L+1) % p == I) : length*(b*sizeof(double)) [L]->[I];
+  };
+  node {I>=0: bench*(v[I]);};
+  parent[0];
+  scheme {
+    int i, l;
+    par (i = 0; i < p; i++)
+      par (l = 0; l < p; l++)
+        if ((l+1) % p == i) 100%%[l]->[i];
+    par (i = 0; i < p; i++) 100%%[i];
+  };
+}
+`
+
+func ringModel(t *testing.T) *pmdl.Model {
+	t.Helper()
+	m, err := pmdl.ParseModel(ringModelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// runWithTimeout guards against hangs in failure paths.
+func runWithTimeout(t *testing.T, rt *hmpi.Runtime, d time.Duration, main func(h *hmpi.Process) error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- rt.Run(main) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		t.Fatalf("runtime did not finish within %v", d)
+		return nil
+	}
+}
+
+// count tallies events of one kind across the snapshot.
+func count(d *trace.Data, k trace.Kind) int {
+	n := 0
+	d.EachEvent(func(_ int, e trace.Event) bool {
+		if e.Kind == k {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+func TestE2ECleanRunVerifies(t *testing.T) {
+	rt, err := hmpi.New(hmpi.Config{Cluster: hnoc.Homogeneous(4, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := ringModel(t)
+	rec := rt.EnableRecorder("verify-e2e-clean", trace.Options{})
+	err = runWithTimeout(t, rt, 30*time.Second, func(h *hmpi.Process) error {
+		return h.RunResilient(hmpi.FixedPlan(model, 3, []int{1, 1, 1}, 1), func(g *hmpi.Group) error {
+			comm := g.Comm()
+			sum := comm.Allreduce([]byte{1}, func(inout, in []byte) { inout[0] += in[0] })
+			_ = sum
+			// A directed exchange on top of the collective, so the trace
+			// has application point-to-point traffic to match too.
+			me := g.Rank()
+			next := (me + 1) % g.Size()
+			prev := (me - 1 + g.Size()) % g.Size()
+			data, _ := comm.Sendrecv(next, 30, []byte{byte(me)}, prev, 30)
+			if data[0] != byte(prev) {
+				t.Errorf("ring exchange corrupted: got %d, want %d", data[0], prev)
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rec.Data()
+	if count(d, trace.KindGroupCreate) == 0 {
+		t.Fatal("trace has no group_create; the run exercised nothing")
+	}
+	rep, err := verify.Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rep.Violations(); len(v) != 0 {
+		t.Fatalf("clean run produced violations:\n%v", v)
+	}
+}
+
+func TestE2EChaosRecreateVerifies(t *testing.T) {
+	rt, err := hmpi.New(hmpi.Config{Cluster: hnoc.Homogeneous(5, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := ringModel(t)
+	rec := rt.EnableRecorder("verify-e2e-chaos", trace.Options{})
+	var killed atomic.Bool
+	err = runWithTimeout(t, rt, 60*time.Second, func(h *hmpi.Process) error {
+		return h.RunResilient(hmpi.FixedPlan(model, 3, []int{1, 1, 1}, 1), func(g *hmpi.Group) error {
+			if h.Rank() != hmpi.HostRank && killed.CompareAndSwap(false, true) {
+				// Record the kill the way the chaos engine does, so the
+				// verifier can excuse the victim's unfinished business.
+				rt.World().RecordKill(h.Rank(), h.Proc().Now())
+				rt.InjectFailure(h.Rank())
+				panic(&mpi.KilledError{Rank: h.Rank()})
+			}
+			sum := g.Comm().Allreduce([]byte{1}, func(inout, in []byte) { inout[0] += in[0] })
+			_ = sum
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := rec.Data()
+	if count(d, trace.KindKill) == 0 || count(d, trace.KindGroupRecreate) == 0 {
+		t.Fatal("trace shows no kill/recreate; the chaos path did not run")
+	}
+	// The recreate dissolved the old group and the run freed the new one:
+	// lifecycle accounting must balance, and nothing else may fire either.
+	rep, err := verify.Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rep.Violations(); len(v) != 0 {
+		t.Fatalf("chaos run with recovery produced violations:\n%v", v)
+	}
+}
