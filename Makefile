@@ -51,13 +51,17 @@ race:
 # configuration; BENCH_PR4.json records the collective engine's simulated
 # time per algorithm and the TCP wire path's allocs/op with and without
 # buffer pooling; BENCH_PR5.json records tracing overhead and clock
-# identity on the EM3D workload.
+# identity on the EM3D workload; BENCH_PR8.json records the
+# compute/communication-overlap speedups (blocking vs overlapped EM3D
+# halo exchange and pipelined matmul) and gates the EM3D halo row at
+# >= 1.3x.
 bench:
 	$(GO) test -bench=. -benchmem .
 	$(GO) test -bench=. -benchmem ./internal/mpi/
 	$(GO) run ./cmd/hmpibench -searchbench BENCH_PR3.json
 	$(GO) run ./cmd/hmpibench -collbench BENCH_PR4.json
 	$(GO) run ./cmd/hmpibench -tracebench BENCH_PR5.json
+	$(GO) run ./cmd/hmpibench -overlapbench BENCH_PR8.json
 
 # Profile the group-selection sweep; inspect with `go tool pprof`.
 profile:
@@ -90,4 +94,4 @@ examples:
 	$(GO) run ./examples/tcptransport
 
 clean:
-	rm -rf out test_output.txt bench_output.txt BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json cpu.pprof mem.pprof em3d.trace em3d.metrics.json em3d.chrome.json verify_em3d.trace verify_chaos.trace hmpivet.json
+	rm -rf out test_output.txt bench_output.txt BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR8.json cpu.pprof mem.pprof em3d.trace em3d.metrics.json em3d.chrome.json verify_em3d.trace verify_chaos.trace hmpivet.json

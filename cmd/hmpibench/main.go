@@ -11,6 +11,7 @@
 //	hmpibench -searchbench BENCH_PR3.json   # search-engine sweep as JSON
 //	hmpibench -collbench BENCH_PR4.json     # collective-engine benchmark as JSON
 //	hmpibench -tracebench BENCH_PR5.json    # tracing-overhead benchmark as JSON
+//	hmpibench -overlapbench BENCH_PR8.json  # compute/comm-overlap benchmark as JSON
 //	hmpibench -fig mapper -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -58,6 +59,20 @@ func writeTraceBench(path string) error {
 	return experiments.WriteBenchJSON(path, bench)
 }
 
+// writeOverlapBench runs the compute/communication-overlap benchmark
+// (blocking vs post-early/compute/wait schedules of EM3D and matmul) and
+// stores it as JSON (the artifact CI publishes as the overlap record).
+// The report itself enforces the >= 1.3x gate on the EM3D halo row.
+func writeOverlapBench(path string) error {
+	bench, err := experiments.OverlapBenchReport()
+	if bench != nil {
+		if werr := experiments.WriteBenchJSON(path, bench); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
 // writeCSV stores one figure as CSV in dir.
 func writeCSV(dir, id string, f *experiments.Figure) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -79,6 +94,7 @@ func main() {
 	searchBench := flag.String("searchbench", "", "run the search-engine sweep and write it as JSON to the given file, then exit")
 	collBench := flag.String("collbench", "", "run the collective-engine benchmark and write it as JSON to the given file, then exit")
 	traceBench := flag.String("tracebench", "", "run the tracing-overhead benchmark and write it as JSON to the given file, then exit")
+	overlapBench := flag.String("overlapbench", "", "run the compute/communication-overlap benchmark and write it as JSON to the given file, then exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to the given file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to the given file")
 	flag.Parse()
@@ -135,6 +151,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *traceBench)
+		return
+	}
+
+	if *overlapBench != "" {
+		if err := writeOverlapBench(*overlapBench); err != nil {
+			fmt.Fprintf(os.Stderr, "hmpibench: overlapbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *overlapBench)
 		return
 	}
 

@@ -5,7 +5,9 @@
 // order, wait-for-graph deadlock over the operations pending at
 // snapshot, collective-sequence consistency across the members of each
 // communicator, group-lifecycle leak accounting (ULFM recreate paths
-// included), and AnySource message races.
+// included), AnySource message races, and nonblocking-request
+// lifecycles (every posted Isend/Irecv/Ibcast/Iallreduce must reach a
+// wait or a successful test in clean runs).
 //
 // Usage:
 //
@@ -38,6 +40,7 @@ var checkDocs = map[string]string{
 	"collseq":  "members of each communicator ran the same collectives in the same order",
 	"groups":   "every group creation is balanced by a dissolution record",
 	"races":    "AnySource receives whose match was decided by arrival order",
+	"requests": "every posted nonblocking request reaches a wait or successful test (clean runs)",
 }
 
 // fileFinding is one finding tagged with its trace file (the -json shape).

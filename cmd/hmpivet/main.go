@@ -42,6 +42,7 @@ import (
 	"repro/internal/analysis/groupfree"
 	"repro/internal/analysis/modelcheck"
 	"repro/internal/analysis/reconpure"
+	"repro/internal/analysis/reqwait"
 	"repro/internal/analysis/retrycontract"
 	"repro/internal/analysis/tagconst"
 	"repro/internal/analysis/tracescope"
@@ -56,6 +57,7 @@ var all = []*analysis.Analyzer{
 	ftcontract.Analyzer,
 	groupfree.Analyzer,
 	reconpure.Analyzer,
+	reqwait.Analyzer,
 	retrycontract.Analyzer,
 	tagconst.Analyzer,
 	tracescope.Analyzer,

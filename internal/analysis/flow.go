@@ -44,11 +44,20 @@ type Func struct {
 	// returned, captured, or passed to an unknown callee — ownership may
 	// transfer, so callers must not report the handle as leaked.
 	EscapesParam []bool
+	// WaitsParam[i] is true when the i-th parameter is completed as a
+	// nonblocking request — Wait or Test is called on it, or it is passed
+	// to WaitAll/WaitAny or to a callee that completes it — on some path.
+	WaitsParam []bool
 	// ReturnsOwned is true when the function returns a group handle it
 	// created itself (directly via a create method or through a callee
 	// that returns an owned handle): the caller inherits the obligation
 	// to free it.
 	ReturnsOwned bool
+	// ReturnsRequest is true when the function returns a nonblocking
+	// request it started itself (directly via Isend/Irecv/Ibcast/... or
+	// through a callee that returns one): the caller inherits the
+	// obligation to complete it.
+	ReturnsRequest bool
 	// CollOps is the set of collective operation names the function
 	// performs, directly or through known callees (transitively).
 	CollOps map[string]bool
@@ -92,6 +101,7 @@ func BuildProgram(pkgs []*Package) *Program {
 				np := len(paramNames(fd))
 				fn.FreesParam = make([]bool, np)
 				fn.EscapesParam = make([]bool, np)
+				fn.WaitsParam = make([]bool, np)
 				fn.CollOps = make(map[string]bool)
 				prog.funcs[fn.Name] = append(prog.funcs[fn.Name], fn)
 			}
@@ -196,6 +206,32 @@ var CollectiveOps = map[string]bool{
 	"Scan":          true,
 	"AgreeFailed":   true,
 	"AgreeVote":     true,
+	"Ibcast":        true,
+	"Iallreduce":    true,
+}
+
+// requestMethods are the nonblocking operations whose results are pending
+// requests the caller must complete with Wait/Test/WaitAll/WaitAny.
+// Shared by the summaries below and the reqwait analyzer.
+var requestMethods = map[string]bool{
+	"Isend":      true,
+	"IsendOwned": true,
+	"Irecv":      true,
+	"Ibcast":     true,
+	"Iallreduce": true,
+}
+
+// completeFuncs are the package-level functions that complete every
+// request (or slice of requests) passed to them.
+var completeFuncs = map[string]bool{
+	"WaitAll": true,
+	"WaitAny": true,
+}
+
+// completeMethods are the request methods that complete their receiver.
+var completeMethods = map[string]bool{
+	"Wait": true,
+	"Test": true,
 }
 
 // IsCreateCall reports whether the call creates an owned group handle
@@ -205,8 +241,27 @@ func IsCreateCall(call *ast.CallExpr) bool {
 	return ok && createMethods[sel.Sel.Name]
 }
 
+// IsRequestCall reports whether the call starts a nonblocking operation
+// directly (comm.Isend and friends).
+func IsRequestCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && requestMethods[sel.Sel.Name]
+}
+
 // IsCreateName reports whether name is one of the group-creating methods.
 func IsCreateName(name string) bool { return createMethods[name] }
+
+// IsRequestName reports whether name is one of the nonblocking operations
+// returning a pending request.
+func IsRequestName(name string) bool { return requestMethods[name] }
+
+// IsCompleteFunc reports whether name is a package-level function that
+// completes every request passed to it (WaitAll, WaitAny).
+func IsCompleteFunc(name string) bool { return completeFuncs[name] }
+
+// IsCompleteMethod reports whether name is a request method that
+// completes its receiver (Wait, Test).
+func IsCompleteMethod(name string) bool { return completeMethods[name] }
 
 // CallReturnsOwned reports whether a call to the named function with the
 // given argument count resolves only to functions returning an owned
@@ -221,6 +276,25 @@ func (p *Program) CallReturnsOwned(name string, nargs int, from *Package) bool {
 	}
 	for _, c := range cands {
 		if !c.ReturnsOwned {
+			return false
+		}
+	}
+	return true
+}
+
+// CallReturnsRequest reports whether a call to the named function with
+// the given argument count resolves only to functions returning a pending
+// request: the caller inherits the obligation to complete it.
+func (p *Program) CallReturnsRequest(name string, nargs int, from *Package) bool {
+	if p == nil || name == "" {
+		return false
+	}
+	cands := p.Resolve(name, nargs, from)
+	if len(cands) == 0 {
+		return false
+	}
+	for _, c := range cands {
+		if !c.ReturnsRequest {
 			return false
 		}
 	}
@@ -256,12 +330,16 @@ func (p *Program) summarize(fn *Func) bool {
 	}
 	frees := make([]bool, len(names))
 	escapes := make([]bool, len(names))
+	waits := make([]bool, len(names))
 	colls := make(map[string]bool)
 	returnsOwned := false
+	returnsRequest := false
 
 	// owned tracks local variables holding handles the function created
-	// (directly or via owned-returning callees).
+	// (directly or via owned-returning callees); ownedReq does the same
+	// for started nonblocking requests.
 	owned := make(map[string]bool)
+	ownedReq := make(map[string]bool)
 
 	var scan func(n ast.Node) bool
 	scan = func(n ast.Node) bool {
@@ -276,6 +354,11 @@ func (p *Program) summarize(fn *Func) bool {
 							owned[id.Name] = true
 						}
 					}
+					if IsRequestCall(call) || p.returnsRequestCall(call, fn.Pkg) {
+						if id, ok := x.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+							ownedReq[id.Name] = true
+						}
+					}
 				}
 			}
 
@@ -285,6 +368,9 @@ func (p *Program) summarize(fn *Func) bool {
 					if owned[id.Name] {
 						returnsOwned = true
 					}
+					if ownedReq[id.Name] {
+						returnsRequest = true
+					}
 					if i, ok := idx[id.Name]; ok {
 						escapes[i] = true
 					}
@@ -293,6 +379,9 @@ func (p *Program) summarize(fn *Func) bool {
 				if call, ok := e.(*ast.CallExpr); ok {
 					if IsCreateCall(call) || p.returnsOwnedCall(call, fn.Pkg) {
 						returnsOwned = true
+					}
+					if IsRequestCall(call) || p.returnsRequestCall(call, fn.Pkg) {
+						returnsRequest = true
 					}
 				}
 			}
@@ -322,7 +411,13 @@ func (p *Program) summarize(fn *Func) bool {
 				// plain function name, not a value use
 			case *ast.SelectorExpr:
 				// param.Method(...): a method call on the parameter is a
-				// read, not an escape of the receiver.
+				// read, not an escape of the receiver. A Wait/Test on a
+				// parameter additionally completes it as a request.
+				if id, ok := fun.X.(*ast.Ident); ok && completeMethods[fun.Sel.Name] && len(x.Args) == 0 {
+					if i, ok := idx[id.Name]; ok {
+						waits[i] = true
+					}
+				}
 				descend(fun.X)
 			default:
 				descend(x.Fun)
@@ -341,6 +436,17 @@ func (p *Program) summarize(fn *Func) bool {
 				return false
 			case "IsMember":
 				for _, a := range x.Args {
+					descend(a)
+				}
+				return false
+			case "WaitAll", "WaitAny":
+				for _, a := range x.Args {
+					if id, ok := a.(*ast.Ident); ok {
+						if i, ok := idx[id.Name]; ok {
+							waits[i] = true
+							continue
+						}
+					}
 					descend(a)
 				}
 				return false
@@ -371,6 +477,9 @@ func (p *Program) summarize(fn *Func) bool {
 					if ai < len(c.FreesParam) && c.FreesParam[ai] {
 						frees[i] = true
 					}
+					if ai < len(c.WaitsParam) && c.WaitsParam[ai] {
+						waits[i] = true
+					}
 					if ai >= len(c.EscapesParam) || c.EscapesParam[ai] {
 						escapes[i] = true
 					}
@@ -398,9 +507,10 @@ func (p *Program) summarize(fn *Func) bool {
 	}
 	ast.Inspect(fn.Decl.Body, scan)
 
-	changed := returnsOwned != fn.ReturnsOwned || len(colls) != len(fn.CollOps)
+	changed := returnsOwned != fn.ReturnsOwned || returnsRequest != fn.ReturnsRequest ||
+		len(colls) != len(fn.CollOps)
 	for i := range frees {
-		if frees[i] != fn.FreesParam[i] || escapes[i] != fn.EscapesParam[i] {
+		if frees[i] != fn.FreesParam[i] || escapes[i] != fn.EscapesParam[i] || waits[i] != fn.WaitsParam[i] {
 			changed = true
 		}
 	}
@@ -414,7 +524,9 @@ func (p *Program) summarize(fn *Func) bool {
 	}
 	fn.FreesParam = frees
 	fn.EscapesParam = escapes
+	fn.WaitsParam = waits
 	fn.ReturnsOwned = returnsOwned
+	fn.ReturnsRequest = returnsRequest
 	fn.CollOps = colls
 	return changed
 }
@@ -424,6 +536,12 @@ func (p *Program) summarize(fn *Func) bool {
 // inherits the obligation).
 func (p *Program) returnsOwnedCall(call *ast.CallExpr, from *Package) bool {
 	return p.CallReturnsOwned(CalleeName(call), len(call.Args), from)
+}
+
+// returnsRequestCall reports whether a call resolves only to functions
+// that return a pending request.
+func (p *Program) returnsRequestCall(call *ast.CallExpr, from *Package) bool {
+	return p.CallReturnsRequest(CalleeName(call), len(call.Args), from)
 }
 
 // FreesArg reports whether a call to the named function with the given
@@ -436,6 +554,23 @@ func (p *Program) FreesArg(name string, nargs, ai int, from *Package) bool {
 	}
 	for _, c := range cands {
 		if ai >= len(c.FreesParam) || !c.FreesParam[ai] {
+			return false
+		}
+	}
+	return true
+}
+
+// WaitsArg reports whether a call to the named function with the given
+// argument count completes its ai-th argument as a request in every
+// resolvable candidate. Analyzers use it to treat `finish(r)` like a
+// direct Wait.
+func (p *Program) WaitsArg(name string, nargs, ai int, from *Package) bool {
+	cands := p.Resolve(name, nargs, from)
+	if len(cands) == 0 {
+		return false
+	}
+	for _, c := range cands {
+		if ai >= len(c.WaitsParam) || !c.WaitsParam[ai] {
 			return false
 		}
 	}

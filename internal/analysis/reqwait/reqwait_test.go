@@ -1,0 +1,13 @@
+package reqwait_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/reqwait"
+)
+
+func TestReqWait(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), reqwait.Analyzer)
+}

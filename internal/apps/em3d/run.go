@@ -107,6 +107,13 @@ type RunOptions struct {
 	// computation time is charged; transferred buffers keep their
 	// correct sizes.
 	RealMath bool
+	// Overlap switches the halo exchange to the post-early/compute/wait
+	// schedule: receives are posted before the sends, the interior nodes
+	// (those reading no remote values) are computed while the boundary
+	// values travel, and only the boundary nodes wait for the exchange.
+	// Field results are bit-identical to the blocking schedule; only the
+	// simulated time changes.
+	Overlap bool
 }
 
 // tags for the two exchange phases.
@@ -131,8 +138,10 @@ func RunParallel(comm *mpi.Comm, pr *Problem, opts RunOptions) error {
 	}
 	me := comm.Rank()
 	body := pr.Bodies[me]
+	if opts.Overlap {
+		return runOverlap(comm, pr, opts)
+	}
 
-	// Precompute boundary volumes for the charge-only path.
 	for it := 0; it < opts.Iters; it++ {
 		// Phase 1: gather remote H boundary values, then compute E.
 		remoteH, err := exchangeBoundary(comm, pr, me, tagHBoundary, pr.DepH, func(j int) []float64 { return pr.Bodies[j].H })
@@ -154,6 +163,127 @@ func RunParallel(comm *mpi.Comm, pr *Problem, opts RunOptions) error {
 		}
 	}
 	return nil
+}
+
+// boundarySplit counts, for one dependency list, the nodes that read any
+// remote value (boundary) and those that read only local ones (interior):
+// the interior update can run while the halo exchange is in flight.
+// Boundary references exist even on Light problems (only the local lists
+// are skipped there), so the split is available on timing-only runs too.
+func boundarySplit(deps [][]NodeRef) (interior, boundary int) {
+	for _, refs := range deps {
+		remote := false
+		for _, ref := range refs {
+			if ref.Body >= 0 {
+				remote = true
+				break
+			}
+		}
+		if remote {
+			boundary++
+		} else {
+			interior++
+		}
+	}
+	return interior, boundary
+}
+
+// runOverlap is the overlapped schedule of RunParallel: per phase it
+// posts the halo receives first, then the sends, computes the interior
+// nodes while the boundary values travel, waits for the receives, and
+// finishes with the boundary nodes. The send requests complete at the
+// end of the phase, after the compute they were hidden behind.
+func runOverlap(comm *mpi.Comm, pr *Problem, opts RunOptions) error {
+	me := comm.Rank()
+	body := pr.Bodies[me]
+	proc := comm.Proc()
+	intE, bndE := boundarySplit(body.EDeps)
+	intH, bndH := boundarySplit(body.HDeps)
+	for it := 0; it < opts.Iters; it++ {
+		// Phase 1: exchange H boundaries behind the interior E update.
+		ex := postBoundary(comm, pr, me, tagHBoundary, pr.DepH, func(j int) []float64 { return pr.Bodies[j].H })
+		proc.Compute(pr.KernelUnits(intE))
+		remoteH, err := ex.wait(pr, me, pr.DepH, func(j int) []float64 { return pr.Bodies[j].H })
+		if err != nil {
+			return err
+		}
+		proc.Compute(pr.KernelUnits(bndE))
+		if opts.RealMath {
+			pr.computeE(me, remoteH)
+		}
+		mpi.WaitAll(ex.sends)
+		// Phase 2: exchange E boundaries behind the interior H update.
+		ex = postBoundary(comm, pr, me, tagEBoundary, pr.DepE, func(j int) []float64 { return pr.Bodies[j].E })
+		proc.Compute(pr.KernelUnits(intH))
+		remoteE, err := ex.wait(pr, me, pr.DepE, func(j int) []float64 { return pr.Bodies[j].E })
+		if err != nil {
+			return err
+		}
+		proc.Compute(pr.KernelUnits(bndH))
+		if opts.RealMath {
+			pr.computeH(me, remoteE)
+		}
+		mpi.WaitAll(ex.sends)
+	}
+	return nil
+}
+
+// boundaryExchange is one in-flight halo exchange: the receive requests
+// (with the body each came from) and the send requests, completed
+// separately so sends can ride behind the whole phase.
+type boundaryExchange struct {
+	recvs   []*mpi.Request
+	recvSrc []int
+	sends   []*mpi.Request
+}
+
+// postBoundary starts an overlapped halo exchange: the receives are
+// posted before the sends (post-early, so arriving values land in the
+// already-posted requests), and the call returns without blocking.
+func postBoundary(comm *mpi.Comm, pr *Problem, me, tag int, dep [][][]int, field func(int) []float64) *boundaryExchange {
+	p := len(pr.Bodies)
+	ex := &boundaryExchange{}
+	for j := 0; j < p; j++ {
+		if j == me || len(dep[me][j]) == 0 {
+			continue
+		}
+		ex.recvs = append(ex.recvs, comm.Irecv(j, tag))
+		ex.recvSrc = append(ex.recvSrc, j)
+	}
+	mine := field(me)
+	for i := 0; i < p; i++ {
+		if i == me || len(dep[i][me]) == 0 {
+			continue
+		}
+		vals := make([]float64, len(dep[i][me]))
+		for k, idx := range dep[i][me] {
+			vals[k] = mine[idx]
+		}
+		ex.sends = append(ex.sends, comm.IsendOwned(i, tag, mpi.Float64Bytes(vals)))
+	}
+	return ex
+}
+
+// wait completes the receive half of the exchange and scatters the
+// payloads into dense per-body arrays, like exchangeBoundary's receive
+// loop. The send requests stay pending for the caller.
+func (ex *boundaryExchange) wait(pr *Problem, me int, dep [][][]int, field func(int) []float64) (map[int][]float64, error) {
+	remote := make(map[int][]float64)
+	for k, r := range ex.recvs {
+		data, _ := r.Wait()
+		j := ex.recvSrc[k]
+		vals := mpi.BytesFloat64(data)
+		if len(vals) != len(dep[me][j]) {
+			return nil, fmt.Errorf("em3d: body %d received %d values from %d, want %d",
+				me, len(vals), j, len(dep[me][j]))
+		}
+		dense := make([]float64, len(field(j)))
+		for kk, idx := range dep[me][j] {
+			dense[idx] = vals[kk]
+		}
+		remote[j] = dense
+	}
+	return remote, nil
 }
 
 // exchangeBoundary sends the boundary values others need from subbody

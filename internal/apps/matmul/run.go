@@ -20,6 +20,11 @@ const (
 type RunOptions struct {
 	// CollectC gathers the result matrix on comm rank 0 (RealMath only).
 	CollectC bool
+	// Overlap pipelines the algorithm: the pivot transfers of step k+1
+	// are posted (receives first) before step k's update runs, so the
+	// next step's communication hides behind the current step's compute.
+	// Results are bit-identical to the blocking schedule.
+	Overlap bool
 }
 
 // blockKey addresses one r×r block of a matrix.
@@ -128,6 +133,9 @@ func RunParallel(comm *mpi.Comm, pr *Problem, dist *Dist, opts RunOptions) ([]fl
 	st := newProcState(pr, dist, comm.Rank())
 	n, l := pr.N, dist.L()
 	unitsPerStep := pr.KernelUnits(float64(st.owned))
+	if opts.Overlap {
+		return runPipelined(comm, pr, dist, st, opts)
+	}
 
 	for k := 0; k < n; k++ {
 		krho := k % l
@@ -223,6 +231,150 @@ func RunParallel(comm *mpi.Comm, pr *Problem, dist *Dist, opts RunOptions) ([]fl
 		}
 	}
 
+	if pr.RealMath && opts.CollectC {
+		return collectC(comm, pr, dist, st)
+	}
+	return nil, nil
+}
+
+// stepComm is the in-flight communication of one pipelined step: the
+// pivot receives (with the block coordinate each carries), the posted
+// sends, and the owner-side stashes captured at posting time.
+type stepComm struct {
+	recvsA  []*mpi.Request
+	recvAbi []int
+	recvsB  []*mpi.Request
+	recvBbj []int
+	sends   []*mpi.Request
+	stashA  map[int][]float64
+	stashB  map[int][]float64
+}
+
+// postStep starts step k's pivot transfers without blocking: receives
+// are posted before sends (post-early), in the same per-peer order as the
+// blocking schedule, so the progress engine assigns arriving blocks to
+// steps by posting order even when two steps are in flight.
+func postStep(comm *mpi.Comm, st *procState, k int) *stepComm {
+	pr, dist := st.pr, st.dist
+	n, l := pr.N, dist.L()
+	krho := k % l
+	sc := &stepComm{stashA: map[int][]float64{}, stashB: map[int][]float64{}}
+
+	// Pivot column of A moves horizontally.
+	jStar := dist.ColOwner(krho)
+	rlo, rhi := st.myRows()
+	if st.mj != jStar {
+		for rho := rlo; rho < rhi; rho++ {
+			src := dist.RankOf(dist.RowOwnerInColumn(rho, jStar), jStar)
+			for bi := rho; bi < n; bi += l {
+				sc.recvsA = append(sc.recvsA, comm.Irecv(src, tagA))
+				sc.recvAbi = append(sc.recvAbi, bi)
+			}
+		}
+	}
+	// Pivot row of B moves vertically within columns.
+	iStar := dist.RowOwnerInColumn(krho, st.mj)
+	clo, chi := st.myCols()
+	if st.mi != iStar {
+		src := dist.RankOf(iStar, st.mj)
+		for sigma := clo; sigma < chi; sigma++ {
+			for bj := sigma; bj < n; bj += l {
+				sc.recvsB = append(sc.recvsB, comm.Irecv(src, tagB))
+				sc.recvBbj = append(sc.recvBbj, bj)
+			}
+		}
+	}
+
+	if st.mj == jStar {
+		for rho := rlo; rho < rhi; rho++ {
+			for bi := rho; bi < n; bi += l {
+				var blk []float64
+				if pr.RealMath {
+					blk = st.a[blockKey{bi, k}]
+				}
+				for j := 0; j < pr.M; j++ {
+					if j == jStar {
+						continue
+					}
+					dst := dist.RankOf(dist.RowOwnerInColumn(rho, j), j)
+					sc.sends = append(sc.sends, comm.IsendOwned(dst, tagA, st.payload(blk)))
+				}
+				if pr.RealMath {
+					sc.stashA[bi] = blk
+				}
+			}
+		}
+	}
+	if st.mi == iStar {
+		for sigma := clo; sigma < chi; sigma++ {
+			for bj := sigma; bj < n; bj += l {
+				var blk []float64
+				if pr.RealMath {
+					blk = st.b[blockKey{k, bj}]
+				}
+				for i := 0; i < pr.M; i++ {
+					if i == iStar {
+						continue
+					}
+					sc.sends = append(sc.sends, comm.IsendOwned(dist.RankOf(i, st.mj), tagB, st.payload(blk)))
+				}
+				if pr.RealMath {
+					sc.stashB[bj] = blk
+				}
+			}
+		}
+	}
+	return sc
+}
+
+// completeRecvs waits for step k's pivot blocks and stashes them by
+// block coordinate.
+func (sc *stepComm) completeRecvs(realMath bool) {
+	for idx, r := range sc.recvsA {
+		data, _ := r.Wait()
+		if realMath {
+			sc.stashA[sc.recvAbi[idx]] = mpi.BytesFloat64(data)
+		}
+	}
+	for idx, r := range sc.recvsB {
+		data, _ := r.Wait()
+		if realMath {
+			sc.stashB[sc.recvBbj[idx]] = mpi.BytesFloat64(data)
+		}
+	}
+}
+
+// runPipelined is the overlapped schedule of RunParallel: step k+1's
+// pivot transfers are posted before step k's update, so each step's
+// communication hides behind the previous step's compute. Send requests
+// complete after the update they were hidden behind.
+func runPipelined(comm *mpi.Comm, pr *Problem, dist *Dist, st *procState, opts RunOptions) ([]float64, error) {
+	n := pr.N
+	unitsPerStep := pr.KernelUnits(float64(st.owned))
+	sc := postStep(comm, st, 0)
+	for k := 0; k < n; k++ {
+		var next *stepComm
+		if k+1 < n {
+			next = postStep(comm, st, k+1)
+		}
+		sc.completeRecvs(pr.RealMath)
+		comm.Proc().Compute(unitsPerStep)
+		if pr.RealMath {
+			for key, cblk := range st.c {
+				ablk, ok := sc.stashA[key.bi]
+				if !ok {
+					return nil, fmt.Errorf("matmul: step %d: process %d missing A block row %d", k, st.me, key.bi)
+				}
+				bblk, ok := sc.stashB[key.bj]
+				if !ok {
+					return nil, fmt.Errorf("matmul: step %d: process %d missing B block col %d", k, st.me, key.bj)
+				}
+				mulAdd(cblk, ablk, bblk, pr.R)
+			}
+		}
+		mpi.WaitAll(sc.sends)
+		sc = next
+	}
 	if pr.RealMath && opts.CollectC {
 		return collectC(comm, pr, dist, st)
 	}

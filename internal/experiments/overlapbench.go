@@ -1,0 +1,136 @@
+package experiments
+
+// The compute/communication-overlap benchmark behind `hmpibench
+// -overlapbench`: each row runs one workload on Paper9 twice — with the
+// blocking schedule and with the overlapped (post-early/compute/wait)
+// schedule of PR 8 — and reports the simulated-time speedup. The rows are
+// deliberately mixed: an EM3D halo exchange with enough interior work to
+// hide the transfers, where overlap pays well (the acceptance gate is
+// >= 1.3x there), a boundary-dominated EM3D where it cannot (the honest
+// row: almost every node reads remote values, so there is no interior
+// compute to hide the big transfers behind), and the matmul pipeline.
+// Simulated times are deterministic, so the report needs no repetition.
+
+import (
+	"fmt"
+
+	"repro/internal/apps/em3d"
+	"repro/internal/apps/matmul"
+	"repro/internal/hmpi"
+	"repro/internal/hnoc"
+)
+
+// OverlapRow is one workload of the overlap benchmark.
+type OverlapRow struct {
+	// Workload identifies the configuration.
+	Workload string `json:"workload"`
+	// BlockingS and OverlapS are the simulated times of the two schedules.
+	BlockingS float64 `json:"blocking_s"`
+	OverlapS  float64 `json:"overlap_s"`
+	// Speedup is BlockingS / OverlapS.
+	Speedup float64 `json:"speedup"`
+	// Wins reports whether overlap beat blocking by a meaningful margin
+	// (>= 5%); the honest rows carry false.
+	Wins bool `json:"wins"`
+}
+
+// OverlapBench is the JSON document `hmpibench -overlapbench` emits.
+type OverlapBench struct {
+	Cluster string       `json:"cluster"`
+	Rows    []OverlapRow `json:"rows"`
+	// EM3DHaloSpeedup is the speedup of the communication-heavy EM3D halo
+	// row, the quantity the >= 1.3x acceptance gate reads.
+	EM3DHaloSpeedup float64 `json:"em3d_halo_speedup"`
+}
+
+// em3dOverlapTimes runs the EM3D HMPI program with both schedules on
+// Paper9 and returns (blocking, overlapped) simulated times.
+func em3dOverlapTimes(cfg em3d.Config, iters int) (float64, float64, error) {
+	pr, err := em3d.Generate(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	times := make([]float64, 2)
+	for i, overlap := range []bool{false, true} {
+		rt, err := hmpi.New(hmpi.Config{Cluster: hnoc.Paper9()})
+		if err != nil {
+			return 0, 0, err
+		}
+		res, err := em3d.RunHMPI(rt, pr, em3d.RunOptions{Iters: iters, Overlap: overlap})
+		if err != nil {
+			return 0, 0, err
+		}
+		times[i] = float64(res.Time)
+	}
+	return times[0], times[1], nil
+}
+
+// matmulOverlapTimes runs the matmul HMPI program with both schedules on
+// Paper9 and returns (blocking, pipelined) simulated times.
+func matmulOverlapTimes(cfg matmul.Config, lCandidates []int) (float64, float64, error) {
+	pr, err := matmul.Generate(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	times := make([]float64, 2)
+	for i, overlap := range []bool{false, true} {
+		rt, err := hmpi.New(hmpi.Config{Cluster: hnoc.Paper9()})
+		if err != nil {
+			return 0, 0, err
+		}
+		res, err := matmul.RunHMPI(rt, pr, lCandidates, matmul.RunOptions{Overlap: overlap})
+		if err != nil {
+			return 0, 0, err
+		}
+		times[i] = float64(res.Time)
+	}
+	return times[0], times[1], nil
+}
+
+func overlapRow(name string, blocking, overlapped float64) OverlapRow {
+	r := OverlapRow{Workload: name, BlockingS: blocking, OverlapS: overlapped}
+	if overlapped > 0 {
+		r.Speedup = blocking / overlapped
+	}
+	r.Wins = r.Speedup >= 1.05
+	return r
+}
+
+// OverlapBenchReport measures the simulated-time effect of the
+// overlapped schedules on Paper9.
+func OverlapBenchReport() (*OverlapBench, error) {
+	bench := &OverlapBench{Cluster: "Paper9"}
+
+	// The halo exchange in its element: a 10% boundary leaves the blocking
+	// schedule a long wait for its neighbours' values in every phase, and
+	// the 90% interior is plenty of compute to hide that wait behind.
+	b, o, err := em3dOverlapTimes(em3d.Config{P: 9, TotalNodes: 150_000, BoundaryFrac: 0.1, Light: true}, 5)
+	if err != nil {
+		return nil, err
+	}
+	row := overlapRow("em3d halo p=9 nodes=150000 boundary=0.1 iters=5", b, o)
+	bench.Rows = append(bench.Rows, row)
+	bench.EM3DHaloSpeedup = row.Speedup
+
+	// Boundary-dominated honest row: with half of every subbody on the
+	// boundary, the transfers dwarf the interior compute; overlap cannot
+	// help (and must not hurt).
+	b, o, err = em3dOverlapTimes(em3d.Config{P: 9, TotalNodes: 30_000, BoundaryFrac: 0.5, Light: true}, 5)
+	if err != nil {
+		return nil, err
+	}
+	bench.Rows = append(bench.Rows, overlapRow("em3d boundary-dominated p=9 nodes=30000 boundary=0.5 iters=5", b, o))
+
+	// Matmul pipeline: step k+1's pivot transfers ride behind step k's
+	// update.
+	b, o, err = matmulOverlapTimes(matmul.Config{M: 3, R: 9, N: 45}, []int{9})
+	if err != nil {
+		return nil, err
+	}
+	bench.Rows = append(bench.Rows, overlapRow("matmul m=3 r=9 n=45 l=9", b, o))
+
+	if bench.EM3DHaloSpeedup < 1.3 {
+		return bench, fmt.Errorf("experiments: em3d halo overlap speedup %.2fx below the 1.3x gate", bench.EM3DHaloSpeedup)
+	}
+	return bench, nil
+}

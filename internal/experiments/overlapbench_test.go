@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+// TestOverlapBenchGate runs the full overlap benchmark and asserts the
+// PR's acceptance gate: the EM3D halo row must show a >= 1.3x
+// simulated-time speedup (the report itself errors below the gate), the
+// matmul pipeline must win too, and the boundary-dominated honest row
+// must neither win nor regress. Simulated times are deterministic, so
+// the bounds are exact reruns, not statistics.
+func TestOverlapBenchGate(t *testing.T) {
+	bench, err := OverlapBenchReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bench.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(bench.Rows))
+	}
+	for _, r := range bench.Rows {
+		t.Logf("%-62s blocking=%.4fs overlap=%.4fs speedup=%.3fx wins=%v",
+			r.Workload, r.BlockingS, r.OverlapS, r.Speedup, r.Wins)
+		if r.BlockingS <= 0 || r.OverlapS <= 0 {
+			t.Errorf("%s: non-positive simulated time", r.Workload)
+		}
+		// Overlap must never lose: the overlapped schedule performs the
+		// same transfers, so at worst it matches the blocking time (the
+		// tiny slack covers float division, not a real regression).
+		if r.Speedup < 0.999 {
+			t.Errorf("%s: overlap regressed, speedup %.3fx", r.Workload, r.Speedup)
+		}
+	}
+	if bench.EM3DHaloSpeedup < 1.3 {
+		t.Errorf("em3d halo speedup %.3fx below the 1.3x gate", bench.EM3DHaloSpeedup)
+	}
+	if halo := bench.Rows[0]; !halo.Wins {
+		t.Errorf("halo row should win: %+v", halo)
+	}
+	if honest := bench.Rows[1]; honest.Wins {
+		t.Errorf("boundary-dominated row should be honest (no win): %+v", honest)
+	}
+	if mm := bench.Rows[2]; !mm.Wins {
+		t.Errorf("matmul pipeline should win: %+v", mm)
+	}
+}

@@ -43,6 +43,7 @@ type Comm struct {
 
 	deriveSeq int64 // per-process count of collective comm constructors
 	agreeSeq  int64 // per-process count of AgreeFailed calls (ft.go)
+	nbSeq     int64 // per-process count of nonblocking collectives (nbcoll.go)
 }
 
 // SetCollTuning overrides the collective algorithm policy for this

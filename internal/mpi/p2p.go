@@ -42,6 +42,18 @@ type recvSel struct {
 	srcs []int // candidate world ranks when src == AnySource
 }
 
+// matchesTag reports whether the selector accepts a message tag. AnyTag
+// matches every application tag but never an internal (negative) one:
+// the collective machinery owns the negative tag space, and the progress
+// engine matches posted wildcard receives eagerly, so a wildcard that
+// accepted internal tags could steal a collective's message.
+func (s recvSel) matchesTag(tag int) bool {
+	if s.tag == AnyTag {
+		return tag >= 0
+	}
+	return tag == s.tag
+}
+
 // mailbox holds the messages addressed to one process that no receive has
 // consumed yet, indexed by (context, sender) so a directed receive
 // inspects one short per-pair FIFO instead of scanning the whole backlog.
@@ -113,7 +125,7 @@ func (m *mailbox) locate(sel recvSel) (mbKey, int, bool) {
 	if sel.src != AnySource {
 		k := mbKey{ctx: sel.ctx, src: sel.src}
 		for i, e := range m.q[k] {
-			if sel.tag == AnyTag || e.tag == sel.tag {
+			if sel.matchesTag(e.tag) {
 				return k, i, true
 			}
 		}
@@ -125,7 +137,7 @@ func (m *mailbox) locate(sel recvSel) (mbKey, int, bool) {
 	for _, src := range sel.srcs {
 		k := mbKey{ctx: sel.ctx, src: src}
 		for i, e := range m.q[k] {
-			if sel.tag != AnyTag && e.tag != sel.tag {
+			if !sel.matchesTag(e.tag) {
 				continue
 			}
 			if bestI < 0 || e.order < bestOrder {
@@ -217,6 +229,38 @@ func (m *mailbox) tryGet(sel recvSel, peek bool) *envelope {
 	return m.pop(k, i)
 }
 
+// seqSnapshot returns the current enqueue count: the wait loops of the
+// progress engine snapshot it before a matching attempt, so an arrival
+// racing the attempt is never slept through (see awaitArrival).
+func (m *mailbox) seqSnapshot() int64 {
+	m.mu.Lock()
+	n := m.enq
+	m.mu.Unlock()
+	return n
+}
+
+// awaitArrival blocks until the enqueue counter moves past seen — some
+// message, not necessarily a matching one, arrived after the snapshot was
+// taken — or the owner fails, or giveUp reports an error. Like get,
+// failure surfaces by panic; the caller re-runs its matching attempt on
+// return. Wakeups without an enqueue (failure notifications broadcast to
+// all mailboxes) re-check the abort conditions and sleep again.
+func (m *mailbox) awaitArrival(seen int64, giveUp func() error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.enq == seen {
+		if m.closed {
+			panic(&ProcessFailedError{Rank: m.owner, Kind: m.kind})
+		}
+		if giveUp != nil {
+			if err := giveUp(); err != nil {
+				panic(err)
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
 func (m *mailbox) close(kind FailureKind) {
 	m.mu.Lock()
 	m.closed = true
@@ -232,18 +276,6 @@ type Status struct {
 	Bytes  int
 }
 
-// Request represents an outstanding non-blocking operation.
-type Request struct {
-	done    bool
-	recv    bool
-	c       *Comm
-	src     int // requested source (comm rank or AnySource)
-	tag     int
-	status  Status
-	data    []byte
-	sendEnd vclock.Time // for sends: when the local buffer is free
-}
-
 // checkRank panics if rank is not a valid comm rank.
 func (c *Comm) checkRank(op string, rank int) {
 	if rank < 0 || rank >= len(c.s.members) {
@@ -251,10 +283,26 @@ func (c *Comm) checkRank(op string, rank int) {
 	}
 }
 
-// sendCommon computes the timing of a transfer and enqueues the envelope.
-// It returns the virtual time at which the sender's interface finishes the
-// transfer. When copy is false the caller cedes ownership of data.
+// sendCommon computes the timing of a transfer anchored at the process
+// clock, advances the clock by the sender-side overhead and enqueues the
+// envelope. It returns the virtual time at which the sender's interface
+// finishes the transfer. When copyBuf is false the caller cedes ownership
+// of data.
 func (c *Comm) sendCommon(dst, tag int, data []byte, copyBuf bool) vclock.Time {
+	c.p.progress()
+	end, _ := c.sendCore(dst, tag, data, copyBuf, c.p.clock.Now(), &c.p.clock)
+	return end
+}
+
+// sendCore computes the timing of a transfer anchored at start — which
+// need not be the process clock: nonblocking collective schedules anchor
+// steps at their own virtual cursor — and enqueues the envelope. It
+// returns the time the sender's interface finishes the transfer and the
+// time the sender-side CPU is released (start plus the link overhead).
+// When clk is non-nil it is advanced by the overhead exactly where the
+// blocking path always did, so blocking timing is preserved bit for bit;
+// schedule steps pass nil and account on their cursor instead.
+func (c *Comm) sendCore(dst, tag int, data []byte, copyBuf bool, start vclock.Time, clk *vclock.Clock) (end, cpuFree vclock.Time) {
 	c.checkRank("Send", dst)
 	p := c.p
 	p.opTick()
@@ -266,9 +314,13 @@ func (c *Comm) sendCommon(dst, tag int, data []byte, copyBuf bool) vclock.Time {
 		panic(p.world.failedError(dstW))
 	}
 	link := p.world.cluster.Link(p.machine, p.world.place[dstW])
-	sendStart := p.clock.Now()
-	p.clock.Advance(vclock.Time(link.Overhead))
-	_, end := p.nicOut.Reserve(p.clock.Now(), vclock.Time(link.TransferTime(len(data))))
+	if clk != nil {
+		clk.Advance(vclock.Time(link.Overhead))
+		cpuFree = clk.Now()
+	} else {
+		cpuFree = start + vclock.Time(link.Overhead)
+	}
+	_, end = p.nicOut.Reserve(cpuFree, vclock.Time(link.TransferTime(len(data))))
 	buf := data
 	// Buffered send: the sender may reuse data as soon as the call
 	// returns. The wire transport serialises the payload into a frame
@@ -288,24 +340,24 @@ func (c *Comm) sendCommon(dst, tag int, data []byte, copyBuf bool) vclock.Time {
 	p.stats.BytesSent += int64(len(data))
 	p.stats.MsgsSent++
 	if tr := p.world.trace; tr != nil {
-		tr.add(TraceEvent{Rank: p.rank, Kind: EventSend, Start: sendStart, End: end, Peer: dstW, Bytes: len(data), Tag: tag})
+		tr.add(TraceEvent{Rank: p.rank, Kind: EventSend, Start: start, End: end, Peer: dstW, Bytes: len(data), Tag: tag})
 	}
 	if r := p.world.rec; r != nil {
 		wall := r.NowNS()
 		r.Emit(p.rank, trace.Event{
 			Rank: int32(p.rank), Kind: trace.KindSend, Peer: int32(dstW),
 			Tag: int32(tag), Ctx: c.s.id, Bytes: int64(len(data)),
-			Start: sendStart, End: end, WallStart: wall, WallEnd: wall,
+			Start: start, End: end, WallStart: wall, WallEnd: wall,
 		})
 	}
 	if p.world.linkFilter != nil && dstW != p.rank {
 		// Chaos-adjudicated path: the frame may be delayed, duplicated or
 		// dropped (and then retransmitted) before it reaches the wire.
 		p.transmitFiltered(dstW, env, link, end)
-		return end
+		return end, cpuFree
 	}
 	p.world.deliver(dstW, env)
-	return end
+	return end, cpuFree
 }
 
 // Send performs a blocking standard-mode send of data to the process with
@@ -323,20 +375,6 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 func (c *Comm) SendOwned(dst, tag int, data []byte) {
 	end := c.sendCommon(dst, tag, data, false)
 	c.p.clock.AbsorbAtLeast(end)
-}
-
-// Isend starts a non-blocking send. The sender's clock advances only by the
-// message overhead; the transfer occupies the interface in the background.
-// Wait on the returned request completes when the local buffer is reusable.
-func (c *Comm) Isend(dst, tag int, data []byte) *Request {
-	end := c.sendCommon(dst, tag, data, true)
-	return &Request{done: false, c: c, sendEnd: end}
-}
-
-// IsendOwned is Isend without the defensive copy; see SendOwned.
-func (c *Comm) IsendOwned(dst, tag int, data []byte) *Request {
-	end := c.sendCommon(dst, tag, data, false)
-	return &Request{done: false, c: c, sendEnd: end}
 }
 
 // sel builds the mailbox selector for a receive or probe on this
@@ -533,108 +571,32 @@ func (c *Comm) consumeWith(e *envelope, t0 vclock.Time, fn func(in []byte)) Stat
 
 // Recv blocks until a message from src with the given tag arrives (src may
 // be AnySource and tag AnyTag) and returns its payload. Messages between
-// one sender/receiver pair are non-overtaking.
+// one sender/receiver pair are non-overtaking. When an earlier-posted
+// Irecv could match the same envelopes the receive routes through the
+// progress engine, so posting order — not wakeup order — decides which
+// operation gets which message.
 func (c *Comm) Recv(src, tag int) ([]byte, Status) {
-	t0 := c.p.clock.Now()
-	e := c.mboxGet("recv", c.sel(src, tag), c.failWatch(src))
+	p := c.p
+	s := c.sel(src, tag)
+	if p.eng.overlaps(c.s.id, s) {
+		return c.recvViaEngine(s, src == AnySource)
+	}
+	t0 := p.clock.Now()
+	p.progress()
+	e := c.mboxGet("recv", s, c.failWatch(src))
 	return c.consume(e, t0)
-}
-
-// Irecv starts a non-blocking receive; Wait performs the actual matching.
-func (c *Comm) Irecv(src, tag int) *Request {
-	if src != AnySource {
-		c.checkRank("Irecv", src)
-	}
-	return &Request{done: false, recv: true, c: c, src: src, tag: tag}
-}
-
-// Wait blocks until the request completes and returns the received payload
-// and status (both zero for send requests).
-func (r *Request) Wait() ([]byte, Status) {
-	if r.done {
-		return r.data, r.status
-	}
-	r.done = true
-	if r.recv {
-		t0 := r.c.p.clock.Now()
-		e := r.c.mboxGet("recv", r.c.sel(r.src, r.tag), r.c.failWatch(r.src))
-		r.data, r.status = r.c.consume(e, t0)
-		return r.data, r.status
-	}
-	// Send request: the buffer was copied eagerly, so completion only
-	// waits for the interface.
-	r.c.p.clock.AbsorbAtLeast(r.sendEnd)
-	return nil, Status{}
-}
-
-// Test reports whether the request has completed, completing it if its
-// message is already available. For send requests Test reports whether the
-// interface has finished the transfer at the current virtual time.
-func (r *Request) Test() (bool, []byte, Status) {
-	if r.done {
-		return true, r.data, r.status
-	}
-	if r.recv {
-		e := r.c.p.mbox.tryGet(r.c.sel(r.src, r.tag), false)
-		if e == nil {
-			return false, nil, Status{}
-		}
-		r.c.p.lastRecvAnySrc = r.src == AnySource
-		r.done = true
-		r.data, r.status = r.c.consume(e, r.c.p.clock.Now())
-		return true, r.data, r.status
-	}
-	if r.c.p.clock.Now() >= r.sendEnd {
-		r.done = true
-		return true, nil, Status{}
-	}
-	return false, nil, Status{}
-}
-
-// WaitAll completes all requests, returning payloads in request order.
-func WaitAll(reqs []*Request) [][]byte {
-	out := make([][]byte, len(reqs))
-	for i, r := range reqs {
-		out[i], _ = r.Wait()
-	}
-	return out
-}
-
-// WaitAny completes one of the requests — preferring one that is already
-// completable without blocking — and returns its index, payload and
-// status (MPI_Waitany). With no completable request it blocks on the
-// first pending one. Panics on an empty or fully-completed slice.
-func WaitAny(reqs []*Request) (int, []byte, Status) {
-	if len(reqs) == 0 {
-		panic("mpi: WaitAny with no requests")
-	}
-	pending := -1
-	for i, r := range reqs {
-		if r.done {
-			continue
-		}
-		if pending < 0 {
-			pending = i
-		}
-		if ok, data, st := r.Test(); ok {
-			return i, data, st
-		}
-	}
-	if pending < 0 {
-		panic("mpi: WaitAny with all requests already completed")
-	}
-	data, st := reqs[pending].Wait()
-	return pending, data, st
 }
 
 // Probe blocks until a matching message is available without receiving it.
 func (c *Comm) Probe(src, tag int) Status {
+	c.p.progress()
 	e := c.p.mbox.peek(c.sel(src, tag), c.failWatch(src))
 	return Status{Source: c.s.rankOf(e.src), Tag: e.tag, Bytes: len(e.data)}
 }
 
 // Iprobe reports whether a matching message is available.
 func (c *Comm) Iprobe(src, tag int) (bool, Status) {
+	c.p.progress()
 	e := c.p.mbox.tryGet(c.sel(src, tag), true)
 	if e == nil {
 		return false, Status{}

@@ -420,6 +420,14 @@ type Proc struct {
 	commWorld *Comm
 	reqSeq    int64
 
+	// eng is the progress engine: the rank's pending nonblocking
+	// operations, advanced opportunistically whenever the rank enters any
+	// MPI call (see request.go).
+	eng progressState
+	// reqID numbers the rank's nonblocking requests from 1; trace events
+	// carry it so verifiers can follow a request's lifecycle.
+	reqID int64
+
 	// lastRecvAnySrc records whether the most recently matched receive on
 	// this rank was posted with AnySource. Written and read only by the
 	// rank's own goroutine, between matching an envelope and applying its

@@ -56,6 +56,10 @@ const (
 	KindLinkFault
 	KindRetransmit
 	KindDegrade
+	KindIsend
+	KindIrecv
+	KindWait
+	KindTest
 )
 
 var kindNames = [...]string{
@@ -76,6 +80,10 @@ var kindNames = [...]string{
 	KindLinkFault:     "link_fault_injected",
 	KindRetransmit:    "retransmit",
 	KindDegrade:       "degrade_reselect",
+	KindIsend:         "isend",
+	KindIrecv:         "irecv",
+	KindWait:          "wait",
+	KindTest:          "test",
 }
 
 func (k Kind) String() string {

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/apps/em3d"
 	"repro/internal/hmpi"
 	"repro/internal/hnoc"
 	"repro/internal/mpi"
@@ -152,5 +153,71 @@ func TestE2EChaosRecreateVerifies(t *testing.T) {
 	}
 	if v := rep.Violations(); len(v) != 0 {
 		t.Fatalf("chaos run with recovery produced violations:\n%v", v)
+	}
+}
+
+// TestE2EOverlapRunVerifies records a real overlapped EM3D run — Irecvs
+// posted early, interior compute, waits, pipelined Isends — and checks
+// that every traced request lifecycle closes: the requests check must
+// stay silent on the overlap schedule, and nothing else may fire.
+func TestE2EOverlapRunVerifies(t *testing.T) {
+	rt, err := hmpi.New(hmpi.Config{Cluster: hnoc.Paper9()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := rt.EnableRecorder("verify-e2e-overlap", trace.Options{})
+	pr, err := em3d.Generate(em3d.Config{P: 5, TotalNodes: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := em3d.RunHMPI(rt, pr, em3d.RunOptions{Iters: 3, RealMath: true, Overlap: true}); err != nil {
+		t.Fatal(err)
+	}
+	d := rec.Data()
+	if count(d, trace.KindIrecv) == 0 || count(d, trace.KindIsend) == 0 || count(d, trace.KindWait) == 0 {
+		t.Fatalf("trace shows no request lifecycle events (irecv=%d isend=%d wait=%d); the overlap path did not run",
+			count(d, trace.KindIrecv), count(d, trace.KindIsend), count(d, trace.KindWait))
+	}
+	rep, err := verify.Run(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rep.Violations(); len(v) != 0 {
+		t.Fatalf("overlapped run produced violations:\n%v", v)
+	}
+}
+
+// TestE2ENonblockingCollectivesVerify drives Ibcast and Iallreduce with
+// compute between post and wait and checks the trace verifies clean —
+// including the posting-order KindColl entries feeding the collseq check.
+func TestE2ENonblockingCollectivesVerify(t *testing.T) {
+	rt, err := hmpi.New(hmpi.Config{Cluster: hnoc.Homogeneous(4, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := rt.EnableRecorder("verify-e2e-nbcoll", trace.Options{})
+	err = runWithTimeout(t, rt, 30*time.Second, func(h *hmpi.Process) error {
+		comm := h.CommWorld()
+		rb := comm.Ibcast(0, []byte{7, 7})
+		h.Proc().Compute(50)
+		if got, _ := rb.Wait(); got[0] != 7 {
+			t.Errorf("ibcast delivered %v", got)
+		}
+		ra := comm.Iallreduce([]byte{1}, func(inout, in []byte) { inout[0] += in[0] })
+		h.Proc().Compute(50)
+		if got, _ := ra.Wait(); got[0] != byte(comm.Size()) {
+			t.Errorf("iallreduce delivered %v, want %d", got, comm.Size())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := verify.Run(rec.Data())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := rep.Violations(); len(v) != 0 {
+		t.Fatalf("nonblocking collectives produced violations:\n%v", v)
 	}
 }

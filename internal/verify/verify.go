@@ -98,7 +98,7 @@ func (r *Report) add(check string, sev Severity, rank int, ctx int64, format str
 }
 
 // AllChecks names every check Run knows, in execution order.
-var AllChecks = []string{"matching", "deadlock", "collseq", "groups", "races"}
+var AllChecks = []string{"matching", "deadlock", "collseq", "groups", "races", "requests"}
 
 // Run verifies the snapshot. With no explicit checks every check runs;
 // otherwise only the named ones (an unknown name is an error, matching
@@ -159,6 +159,9 @@ func Run(d *trace.Data, checks ...string) (*Report, error) {
 	if want["races"] && sound {
 		st.checkRaces(rep)
 	}
+	if want["requests"] && sound {
+		st.checkRequests(rep)
+	}
 	return rep, nil
 }
 
@@ -209,6 +212,11 @@ type state struct {
 	// pending is Meta.Pending: the blocking operations still in flight at
 	// snapshot, stack order per rank.
 	pending []trace.PendingOp
+	// reqPosts maps rank -> request id -> the posting event (isend, irecv,
+	// or a nonblocking collective); reqDone marks the ids whose wait (or
+	// successful test) was recorded.
+	reqPosts map[int]map[int64]trace.Event
+	reqDone  map[int]map[int64]bool
 }
 
 // replayEntry orders the global replay: sends enter the in-flight set at
@@ -236,6 +244,24 @@ func replay(d *trace.Data) *state {
 		created:  map[int64]trace.Event{},
 		freed:    map[int64]int{},
 		pending:  d.Meta.Pending,
+		reqPosts: map[int]map[int64]trace.Event{},
+		reqDone:  map[int]map[int64]bool{},
+	}
+	post := func(rank int, e trace.Event) {
+		m := st.reqPosts[rank]
+		if m == nil {
+			m = map[int64]trace.Event{}
+			st.reqPosts[rank] = m
+		}
+		m[e.A2] = e
+	}
+	done := func(rank int, id int64) {
+		m := st.reqDone[rank]
+		if m == nil {
+			m = map[int64]bool{}
+			st.reqDone[rank] = m
+		}
+		m[id] = true
 	}
 	var entries []replayEntry
 	d.EachEvent(func(rank int, e trace.Event) bool {
@@ -263,6 +289,20 @@ func replay(d *trace.Data) *state {
 				st.colls[e.Ctx] = m
 			}
 			m[rank] = append(m[rank], e.Name)
+			if e.A3 == 1 {
+				// A nonblocking collective posting: a request lifecycle
+				// starts here (the sequencing entry above still counts —
+				// members agree on posting order).
+				post(rank, e)
+			}
+		case trace.KindIsend, trace.KindIrecv:
+			post(rank, e)
+		case trace.KindWait:
+			done(rank, e.A2)
+		case trace.KindTest:
+			if e.A0 == 1 {
+				done(rank, e.A2)
+			}
 		case trace.KindGroupCreate, trace.KindGroupRecreate:
 			st.created[e.Ctx] = e
 		case trace.KindGroupFree:
@@ -572,5 +612,42 @@ func (st *state) checkRaces(rep *Report) {
 		rep.add("races", Info, k.dst, k.ctx,
 			"%d AnySource receive(s) on rank %d (ctx %d, tag %d) matched while another sender also had a message in flight: the result depends on arrival order",
 			st.races[k], k.dst, k.ctx, k.tag)
+	}
+}
+
+// checkRequests verifies nonblocking-request lifecycles: every posted
+// request (isend, irecv, or a nonblocking collective) must reach a wait
+// or a successful test on the posting rank. The check only fires on
+// clean runs — a killed rank or a revoked communicator legitimately
+// abandons its pending requests, and the runtime aborts their waits by
+// design, so traces with failures are exempt.
+func (st *state) checkRequests(rep *Report) {
+	if len(st.killed) > 0 || len(st.revoked) > 0 {
+		return
+	}
+	ranks := make([]int, 0, len(st.reqPosts))
+	for r := range st.reqPosts {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		posts := st.reqPosts[r]
+		ids := make([]int64, 0, len(posts))
+		for id := range posts {
+			if !st.reqDone[r][id] {
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			e := posts[id]
+			what := e.Kind.String()
+			if e.Kind == trace.KindColl {
+				what = e.Name
+			}
+			rep.add("requests", Violation, r, e.Ctx,
+				"rank %d posted request %d (%s, ctx %d, tag %d) that never completed: no wait or successful test recorded",
+				r, id, what, e.Ctx, e.Tag)
+		}
 	}
 }

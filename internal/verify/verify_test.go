@@ -320,3 +320,94 @@ func TestCheckSelection(t *testing.T) {
 		t.Fatal("unknown check name must be rejected")
 	}
 }
+
+// --- Request lifecycles. ---
+
+func irecvPost(rank, peer, tag int, ctx, id int64, at float64) trace.Event {
+	return trace.Event{
+		Rank: int32(rank), Kind: trace.KindIrecv, Peer: int32(peer), Tag: int32(tag),
+		Ctx: ctx, A2: id, Start: vclock.Time(at), End: vclock.Time(at),
+	}
+}
+
+func isendPost(rank, peer, tag int, ctx, id int64, at float64) trace.Event {
+	return trace.Event{
+		Rank: int32(rank), Kind: trace.KindIsend, Peer: int32(peer), Tag: int32(tag),
+		Ctx: ctx, A2: id, Start: vclock.Time(at), End: vclock.Time(at),
+	}
+}
+
+func wait(rank int, id int64, at float64) trace.Event {
+	return trace.Event{Rank: int32(rank), Kind: trace.KindWait, Peer: -1, A2: id,
+		Start: vclock.Time(at), End: vclock.Time(at + 0.001)}
+}
+
+func test(rank int, id int64, ok int64, at float64) trace.Event {
+	return trace.Event{Rank: int32(rank), Kind: trace.KindTest, Peer: -1, A0: ok, A2: id,
+		Start: vclock.Time(at), End: vclock.Time(at)}
+}
+
+func TestRequestLifecyclesClean(t *testing.T) {
+	// A full nonblocking exchange: every posted request waits or tests.
+	d := mkData(2,
+		isendPost(0, 1, 9, 1, 1, 1.0),
+		send(0, 1, 9, 1, 64, 1.0),
+		irecvPost(1, 0, 9, 1, 1, 1.1),
+		recv(1, 0, 9, 1, 64, 1.5),
+		wait(1, 1, 1.5),
+		test(0, 1, 1, 2.0),
+	)
+	rep := mustRun(t, d, "requests")
+	if len(rep.Findings) != 0 {
+		t.Fatalf("clean request lifecycles produced findings: %v", rep.Findings)
+	}
+}
+
+func TestLeakedRequest(t *testing.T) {
+	// Rank 1 posts a receive it never waits for; rank 0's send request
+	// completes. Exactly the irecv must be flagged.
+	d := mkData(2,
+		isendPost(0, 1, 9, 1, 1, 1.0),
+		send(0, 1, 9, 1, 64, 1.0),
+		irecvPost(1, 0, 9, 1, 1, 1.1),
+		recv(1, 0, 9, 1, 64, 1.5),
+		wait(0, 1, 2.0),
+	)
+	rep := mustRun(t, d, "requests")
+	v := rep.Violations()
+	if len(v) != 1 || v[0].Rank != 1 || !strings.Contains(v[0].Message, "never completed") {
+		t.Fatalf("violations = %v, want one leaked irecv on rank 1", v)
+	}
+}
+
+func TestLeakedRequestFailedTestDoesNotComplete(t *testing.T) {
+	// A test that returned false is not a completion.
+	d := mkData(1, isendPost(0, 0, 9, 1, 1, 1.0), test(0, 1, 0, 2.0))
+	rep := mustRun(t, d, "requests")
+	if v := rep.Violations(); len(v) != 1 {
+		t.Fatalf("violations = %v, want the failed-test request flagged", v)
+	}
+}
+
+func TestLeakedNonblockingCollective(t *testing.T) {
+	post := coll(0, 1, "ibcast", 1.0)
+	post.A2, post.A3 = 1, 1
+	d := mkData(1, post)
+	rep := mustRun(t, d, "requests")
+	v := rep.Violations()
+	if len(v) != 1 || !strings.Contains(v[0].Message, "ibcast") {
+		t.Fatalf("violations = %v, want the pending ibcast flagged", v)
+	}
+}
+
+func TestLeakedRequestExcusedByKill(t *testing.T) {
+	// A run with a killed rank legitimately abandons pending requests.
+	d := mkData(2,
+		irecvPost(1, 0, 9, 1, 1, 1.1),
+		kill(0, 1.2),
+	)
+	rep := mustRun(t, d, "requests")
+	if v := rep.Violations(); len(v) != 0 {
+		t.Fatalf("violations = %v, want none under a kill", v)
+	}
+}
