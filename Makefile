@@ -54,7 +54,10 @@ race:
 # identity on the EM3D workload; BENCH_PR8.json records the
 # compute/communication-overlap speedups (blocking vs overlapped EM3D
 # halo exchange and pipelined matmul) and gates the EM3D halo row at
-# >= 1.3x.
+# >= 1.3x; BENCH_PR9.json records the two-level collective engine on the
+# fat-node topology (flat vs hierarchical vs model-driven Auto, blocked
+# and interleaved placements) and gates the 1 MiB Allreduce row at
+# >= 1.2x over the flat ring.
 bench:
 	$(GO) test -bench=. -benchmem .
 	$(GO) test -bench=. -benchmem ./internal/mpi/
@@ -62,6 +65,7 @@ bench:
 	$(GO) run ./cmd/hmpibench -collbench BENCH_PR4.json
 	$(GO) run ./cmd/hmpibench -tracebench BENCH_PR5.json
 	$(GO) run ./cmd/hmpibench -overlapbench BENCH_PR8.json
+	$(GO) run ./cmd/hmpibench -hierbench BENCH_PR9.json
 
 # Profile the group-selection sweep; inspect with `go tool pprof`.
 profile:
@@ -94,4 +98,4 @@ examples:
 	$(GO) run ./examples/tcptransport
 
 clean:
-	rm -rf out test_output.txt bench_output.txt BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR8.json cpu.pprof mem.pprof em3d.trace em3d.metrics.json em3d.chrome.json verify_em3d.trace verify_chaos.trace hmpivet.json
+	rm -rf out test_output.txt bench_output.txt BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR8.json BENCH_PR9.json cpu.pprof mem.pprof em3d.trace em3d.metrics.json em3d.chrome.json verify_em3d.trace verify_chaos.trace hmpivet.json

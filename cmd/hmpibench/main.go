@@ -12,6 +12,7 @@
 //	hmpibench -collbench BENCH_PR4.json     # collective-engine benchmark as JSON
 //	hmpibench -tracebench BENCH_PR5.json    # tracing-overhead benchmark as JSON
 //	hmpibench -overlapbench BENCH_PR8.json  # compute/comm-overlap benchmark as JSON
+//	hmpibench -hierbench BENCH_PR9.json     # two-level collective benchmark as JSON
 //	hmpibench -fig mapper -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -42,6 +43,18 @@ func writeSearchBench(path string) error {
 // performance record).
 func writeCollBench(path string) error {
 	bench, err := experiments.CollBenchReport()
+	if err != nil {
+		return err
+	}
+	return experiments.WriteBenchJSON(path, bench)
+}
+
+// writeHierBench runs the two-level collective benchmark on the fat-node
+// topology (flat vs hierarchical algorithms vs the model-driven Auto
+// policy, blocked and interleaved placements) and stores it as JSON (the
+// artifact CI publishes as the hierarchy performance record).
+func writeHierBench(path string) error {
+	bench, err := experiments.HierBenchReport()
 	if err != nil {
 		return err
 	}
@@ -95,6 +108,7 @@ func main() {
 	collBench := flag.String("collbench", "", "run the collective-engine benchmark and write it as JSON to the given file, then exit")
 	traceBench := flag.String("tracebench", "", "run the tracing-overhead benchmark and write it as JSON to the given file, then exit")
 	overlapBench := flag.String("overlapbench", "", "run the compute/communication-overlap benchmark and write it as JSON to the given file, then exit")
+	hierBench := flag.String("hierbench", "", "run the two-level collective benchmark and write it as JSON to the given file, then exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to the given file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to the given file")
 	flag.Parse()
@@ -160,6 +174,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *overlapBench)
+		return
+	}
+
+	if *hierBench != "" {
+		if err := writeHierBench(*hierBench); err != nil {
+			fmt.Fprintf(os.Stderr, "hmpibench: hierbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *hierBench)
 		return
 	}
 

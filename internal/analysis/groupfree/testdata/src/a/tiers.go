@@ -1,0 +1,86 @@
+// Tier-cache fixture: mirrors the hierarchy layer of the mpi package,
+// where derived node- and net-tier handles are created lazily, cached on
+// the parent, and freed by the parent's own Free. Storing into the cache
+// transfers ownership — the creation site must not be flagged — while a
+// tier that is neither cached nor freed is still a leak.
+package a
+
+type tierCache struct {
+	node *Group
+	net  *Group
+}
+
+type hierComm struct {
+	h  *Process
+	hi *tierCache
+}
+
+// deriveTiers creates the tier groups lazily and caches them on the
+// handle: the stores are escapes, ownership moves to the cache.
+func (c *hierComm) deriveTiers() error {
+	if c.hi != nil {
+		return nil
+	}
+	node, err := c.h.GroupCreate(nil)
+	if err != nil {
+		return err
+	}
+	net, err := c.h.GroupCreateChild(nil)
+	if err != nil {
+		_ = c.h.GroupFree(node)
+		return err
+	}
+	c.hi = &tierCache{node: node, net: net}
+	return nil
+}
+
+// freeTiers releases the cached tiers with the parent, the pairing that
+// makes the deriveTiers stores sound.
+func (c *hierComm) freeTiers() {
+	if c.hi == nil {
+		return
+	}
+	if c.hi.node != nil {
+		_ = c.h.GroupFree(c.hi.node)
+	}
+	if c.hi.net != nil {
+		_ = c.h.GroupFree(c.hi.net)
+	}
+	c.hi = nil
+}
+
+// cacheOneTier stores through a field assignment rather than a composite
+// literal — the other spelling the mpi package uses.
+func (c *hierComm) cacheOneTier() error {
+	g, err := c.h.GroupCreate(nil)
+	if err != nil {
+		return err
+	}
+	c.hi = &tierCache{}
+	c.hi.node = g
+	return nil
+}
+
+// droppedTier is the leak the cache idiom must not mask: a tier created
+// but neither cached nor freed is still reported.
+func (c *hierComm) droppedTier() {
+	g, _ := c.h.GroupCreate(nil) // want "never freed"
+	_ = g.Rank()
+}
+
+// cachedAfterBranch pins the analyzer's escape trust as body-wide, not
+// path-sensitive: the store into the cache below the branch silences the
+// early return above it too (a known, accepted false negative — the
+// alternative would flag every lazily-cached tier derivation whose
+// fast path returns before the store).
+func (c *hierComm) cachedAfterBranch() error {
+	g, err := c.h.GroupCreate(nil)
+	if err != nil {
+		return err
+	}
+	if bad() {
+		return nil // trusted: g escapes into the cache later in the body
+	}
+	c.hi = &tierCache{node: g}
+	return nil
+}

@@ -1,0 +1,381 @@
+package estimator
+
+// Two-level extension of the Hockney collective model (coll.go): distinct
+// intra-node and inter-node link terms for the hierarchy-aware algorithms
+// of internal/mpi's collective engine (hier.go there). A flat CollModel
+// charges every hop at the communicator's worst link; on a fat-node
+// cluster that makes a 24-rank ring pay 2*23 Ethernet transfers even
+// though 21 of the hops could ride a machine's internal bus. The
+// two-level model splits the cost: the node tiers (the processes sharing
+// one machine) run at the worst intra-machine link, the net tier (one
+// leader per machine) at the worst inter-machine link, and the crossover
+// between the flat and hierarchical algorithms falls out in closed form,
+// exactly like the flat model's ring/redbcast crossover.
+//
+// AutoCollTuningFor turns the model into policy: it derives the
+// Hier*Bytes thresholds of an mpi.CollTuning by solving model-hier vs
+// model-flat numerically, so Auto picks the hierarchical algorithm
+// exactly where the model says it wins.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hnoc"
+	"repro/internal/mpi"
+)
+
+// TwoLevelModel predicts collective completion times for a placement with
+// co-located processes, with separate link terms per tier.
+type TwoLevelModel struct {
+	Flat  *CollModel // whole communicator at the worst overall link
+	Intra *CollModel // deepest node tier at the worst intra-machine link
+	Inter *CollModel // the leaders at the worst inter-machine link
+
+	P        int // total processes
+	Machines int // distinct machines (net tier size)
+	MaxNode  int // most processes on one machine (deepest node tier)
+}
+
+// NewTwoLevelModel builds the model for processes placed on the given
+// machines (one entry per process; repeats mean co-location, exactly the
+// placement vector of mpi.NewWorld).
+func NewTwoLevelModel(cluster *hnoc.Cluster, placement []int) (*TwoLevelModel, error) {
+	flat, err := NewCollModel(cluster, placement)
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[int]int)
+	var distinct []int
+	maxNode := 0
+	for _, m := range placement {
+		if m < 0 || m >= cluster.Size() {
+			return nil, fmt.Errorf("estimator: machine %d out of range", m)
+		}
+		if counts[m] == 0 {
+			distinct = append(distinct, m)
+		}
+		counts[m]++
+		if counts[m] > maxNode {
+			maxNode = counts[m]
+		}
+	}
+	inter, err := NewCollModel(cluster, distinct)
+	if err != nil {
+		return nil, err
+	}
+	// Worst intra-machine link over the machines that actually hold a
+	// node tier (>= 2 processes), with the deepest tier's process count.
+	intra := &CollModel{P: maxNode}
+	for _, m := range distinct {
+		if counts[m] < 2 {
+			continue
+		}
+		l := cluster.ModelLink(m, m)
+		if l.Latency > intra.Lat || (l.Latency == intra.Lat && (intra.Bw == 0 || l.Bandwidth < intra.Bw)) {
+			intra.Lat, intra.Bw, intra.Ov = l.Latency, l.Bandwidth, l.Overhead
+		}
+	}
+	if intra.P == 1 || intra.Bw == 0 {
+		intra.Bw = math.Inf(1)
+	}
+	return &TwoLevelModel{
+		Flat:  flat,
+		Intra: intra,
+		Inter: inter,
+		P:     len(placement), Machines: len(distinct), MaxNode: maxNode,
+	}, nil
+}
+
+// Viable mirrors the mpi package's hierarchy viability: a two-level
+// algorithm needs more than one machine and a machine with more than one
+// process.
+func (m *TwoLevelModel) Viable() bool { return m.Machines > 1 && m.MaxNode > 1 }
+
+// AllreduceFlat predicts the flat Auto resolution: the ring at or above
+// ringMin on more than two ranks, recursive doubling below.
+func (m *TwoLevelModel) AllreduceFlat(nbytes, ringMin int) float64 {
+	if nbytes >= ringMin && m.Flat.P > 2 {
+		return m.Flat.AllreduceRing(nbytes)
+	}
+	return m.Flat.AllreduceRecDbl(nbytes)
+}
+
+// AllreduceHier predicts the two-level Allreduce: binomial reduce up the
+// deepest node tier, Allreduce among the leaders (which resolves its own
+// flat algorithm at net scale), binomial broadcast back down.
+func (m *TwoLevelModel) AllreduceHier(nbytes, ringMin int) float64 {
+	t := m.Intra.ReduceBinomial(nbytes) + m.Intra.BcastBinomial(nbytes)
+	if nbytes >= ringMin && m.Inter.P > 2 {
+		return t + m.Inter.AllreduceRing(nbytes)
+	}
+	return t + m.Inter.AllreduceRecDbl(nbytes)
+}
+
+// BcastFlat predicts the flat Auto resolution: segmented at or above
+// segMin, plain binomial below.
+func (m *TwoLevelModel) BcastFlat(nbytes, segMin, segSize int) float64 {
+	if nbytes >= segMin {
+		return m.Flat.BcastSegmented(nbytes, segSize)
+	}
+	return m.Flat.BcastBinomial(nbytes)
+}
+
+// BcastHier predicts the two-level broadcast: one intra-machine hop from
+// the root to its leader, broadcast over the net tier, fan-out down the
+// node tiers. Both tiers resolve segmentation by the same size rule the
+// implementation's nested Bcast calls do.
+func (m *TwoLevelModel) BcastHier(nbytes, segMin, segSize int) float64 {
+	t := m.Intra.msgTime(float64(nbytes))
+	if nbytes >= segMin {
+		return t + m.Inter.BcastSegmented(nbytes, segSize) + m.Intra.BcastSegmented(nbytes, segSize)
+	}
+	return t + m.Inter.BcastBinomial(nbytes) + m.Intra.BcastBinomial(nbytes)
+}
+
+// GatherFlatAuto predicts the flat Auto resolution: the binomial
+// combining tree for small payloads on large communicators, the flat fan
+// otherwise.
+func (m *TwoLevelModel) GatherFlatAuto(nbytes, treeMinRanks, treeMaxBytes int) float64 {
+	if m.Flat.P >= treeMinRanks && nbytes <= treeMaxBytes {
+		return m.Flat.GatherBinomial(nbytes)
+	}
+	return m.Flat.GatherFlat(nbytes)
+}
+
+// GatherHier predicts the two-level gather of nbytes per member: flat
+// gather up each node tier, then a net-tier gather of per-machine bundles
+// (MaxNode payloads plus 8 bytes of framing each). The root is assumed to
+// be a machine leader (the common case; a non-leader root adds one
+// intra-machine hop carrying the full concatenation).
+func (m *TwoLevelModel) GatherHier(nbytes int) float64 {
+	bundle := m.MaxNode * (nbytes + 8)
+	return m.Intra.GatherFlat(nbytes) + m.Inter.GatherFlat(bundle)
+}
+
+// ReduceScatterFlat predicts the pairwise exchange (the flat Auto
+// resolution at every size): p-1 sequential sendrecv steps of one
+// destination block each.
+func (m *TwoLevelModel) ReduceScatterFlat(totalBytes int) float64 {
+	if m.Flat.P == 1 {
+		return 0
+	}
+	p := float64(m.Flat.P)
+	return (p - 1) * m.Flat.msgTime(float64(totalBytes)/p)
+}
+
+// ReduceScatterHier predicts the two-level reduce-scatter of totalBytes
+// across all destinations: binomial reduce of the full vector up each
+// node tier, pairwise exchange of machine blocks over the net tier, and a
+// flat scatter of the block down the node tier (modelled like the
+// symmetric flat gather).
+func (m *TwoLevelModel) ReduceScatterHier(totalBytes int) float64 {
+	t := m.Intra.ReduceBinomial(totalBytes)
+	if m.Inter.P > 1 {
+		e := float64(m.Inter.P)
+		t += (e - 1) * m.Inter.msgTime(float64(totalBytes)/e)
+	}
+	return t + m.Intra.GatherFlat(totalBytes/m.P)
+}
+
+// HierAllreduceWinRange solves AllreduceHier(x) = flat-ring(x) in closed
+// form: the payload range [lo, hi) in which the hierarchical Allreduce
+// beats the flat ring. Both sides are linear in x at their large-message
+// resolutions (the net tier rings when it has more than two machines):
+//
+//	flat ring  2(P-1)(2o_f+L_f) + 2(P-1)/(P B_f) x
+//	hier       2 d_i (2o_i+L_i) + 2 d_i/B_i x  +  inter terms
+//
+// so the hierarchy's win region is one side of a single crossover: above
+// it when the hierarchy's per-byte cost is lower (fast buses — lo is the
+// crossover, hi is math.MaxInt), below it when the buses' per-byte cost
+// eats the Ethernet savings but the ring's 2(P-1) fixed latencies still
+// lose at small sizes (lo is 0, hi is the crossover). (0, math.MaxInt)
+// means the hierarchy wins everywhere, (0, 0) never.
+func (m *TwoLevelModel) HierAllreduceWinRange() (lo, hi int) {
+	if !m.Viable() || m.Flat.P < 2 {
+		return 0, 0
+	}
+	pf := float64(m.Flat.P)
+	di := m.Intra.treeDepth()
+	var interFixed, interPerByte float64
+	if m.Inter.P > 2 {
+		pe := float64(m.Inter.P)
+		interFixed = 2 * (pe - 1) * (2*m.Inter.Ov + m.Inter.Lat)
+		interPerByte = 2 * (pe - 1) / (pe * m.Inter.Bw)
+	} else {
+		msgs := m.Inter.treeDepth()
+		interFixed = msgs * (2*m.Inter.Ov + m.Inter.Lat)
+		interPerByte = msgs / m.Inter.Bw
+	}
+	// hier wins iff fixed < perByte * x.
+	perByte := 2*(pf-1)/(pf*m.Flat.Bw) - interPerByte - 2*di/m.Intra.Bw
+	fixed := 2*di*(2*m.Intra.Ov+m.Intra.Lat) + interFixed - 2*(pf-1)*(2*m.Flat.Ov+m.Flat.Lat)
+	switch {
+	case perByte > 0 && fixed <= 0:
+		return 0, math.MaxInt
+	case perByte > 0:
+		return int(math.Ceil(fixed / perByte)), math.MaxInt
+	case perByte < 0 && fixed < 0:
+		return 0, int(math.Ceil(fixed / perByte))
+	case perByte == 0 && fixed < 0:
+		return 0, math.MaxInt
+	}
+	return 0, 0
+}
+
+// minStableWinBytes finds the smallest payload from which win holds all
+// the way up (probed in powers of two to 1 GiB, then refined by binary
+// search). A win region that closes again before 1 GiB — the hierarchy
+// can win only below a crossover when the buses' per-byte cost is high —
+// yields math.MaxInt: a MinBytes-style threshold cannot express "only
+// below", so the policy stays flat rather than pessimising large
+// payloads.
+func minStableWinBytes(win func(int) bool) int {
+	const ceil = 1 << 30
+	if !win(ceil) {
+		return math.MaxInt
+	}
+	lastLose := 0
+	for x := 1; x <= ceil; x *= 2 {
+		if !win(x) {
+			lastLose = x
+		}
+	}
+	if lastLose == 0 {
+		return 1
+	}
+	lo, hi := lastLose, lastLose*2
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if win(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// winBandBytes finds the single contiguous win band [lo, hi] on a
+// power-of-two probe grid up to 1 GiB, refined to byte precision by
+// binary search. Returns (math.MaxInt, math.MaxInt) when win never holds
+// at a probed size; hi is math.MaxInt when the band is still open at 1
+// GiB. The models compared here are differences of two piecewise-linear
+// functions with at most one interior kink each, so their win region is a
+// single band and the grid cannot skip over it unless the band spans
+// less than one octave — narrower than any band worth dispatching on.
+func winBandBytes(win func(int) bool) (lo, hi int) {
+	const ceil = 1 << 30
+	firstWin := 0
+	for x := 1; x <= ceil; x *= 2 {
+		if win(x) {
+			firstWin = x
+			break
+		}
+	}
+	if firstWin == 0 {
+		return math.MaxInt, math.MaxInt
+	}
+	lo = 1
+	if firstWin > 1 {
+		l, h := firstWin/2, firstWin // !win(l), win(h)
+		for l+1 < h {
+			mid := l + (h-l)/2
+			if win(mid) {
+				h = mid
+			} else {
+				l = mid
+			}
+		}
+		lo = h
+	}
+	lastWin := firstWin
+	for x := firstWin * 2; x <= ceil; x *= 2 {
+		if !win(x) {
+			l, h := lastWin, x // win(l), !win(h)
+			for l+1 < h {
+				mid := l + (h-l)/2
+				if win(mid) {
+					l = mid
+				} else {
+					h = mid
+				}
+			}
+			return lo, l
+		}
+		lastWin = x
+	}
+	return lo, math.MaxInt
+}
+
+// maxWinningBytes finds the largest payload at which win holds, assuming
+// wins are downward-closed (true of the hierarchical gather: it wins on
+// per-message overhead, which large payloads dilute). Returns 0 when win
+// never holds and math.MaxInt when it holds through 1 GiB.
+func maxWinningBytes(win func(int) bool) int {
+	const ceil = 1 << 30
+	if !win(1) {
+		return 0
+	}
+	lo, hi := 1, 2
+	for hi <= ceil && win(hi) {
+		lo = hi
+		hi *= 2
+	}
+	if hi > ceil {
+		return math.MaxInt
+	}
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		if win(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// AutoCollTuningFor derives a size- and hierarchy-aware CollTuning for
+// the given cluster and placement: the standard Auto policy with its
+// Hier*Bytes thresholds set where the two-level model beats the flat Auto
+// resolution, so mpi's Auto dispatch follows the model's crossovers. On a
+// placement without a two-level structure the thresholds stay at their
+// defaults (the hierarchy is never viable there, so they are inert).
+func AutoCollTuningFor(cluster *hnoc.Cluster, placement []int) (*mpi.CollTuning, error) {
+	t := mpi.AutoCollTuning()
+	m, err := NewTwoLevelModel(cluster, placement)
+	if err != nil {
+		return nil, err
+	}
+	if !m.Viable() {
+		return t, nil
+	}
+	ringMin := t.ResolvedAllreduceRingMinBytes()
+	segMin := t.ResolvedBcastSegMinBytes()
+	seg := t.ResolvedSegSize()
+	treeMin := t.ResolvedTreeMinRanks()
+	treeMax := t.ResolvedTreeMaxBytes()
+	t.AllreduceHierMinBytes = minStableWinBytes(func(x int) bool {
+		return m.AllreduceHier(x, ringMin) < m.AllreduceFlat(x, ringMin)
+	})
+	// The broadcast's win region is a band: the hierarchy wins on tree
+	// depth until the payload is so large that its extra root-to-leader
+	// full-vector hop outweighs the depth saved (a pipelined segmented
+	// broadcast already runs at link bandwidth).
+	t.BcastHierMinBytes, t.BcastHierMaxBytes = winBandBytes(func(x int) bool {
+		return m.BcastHier(x, segMin, seg) < m.BcastFlat(x, segMin, seg)
+	})
+	gmax := maxWinningBytes(func(x int) bool {
+		return m.GatherHier(x) < m.GatherFlatAuto(x, treeMin, treeMax)
+	})
+	if gmax == 0 {
+		gmax = 1 // never wins; 1 confines hier to empty-ish payloads (0 would mean "default")
+	}
+	t.GatherHierMaxBytes = gmax
+	t.ReduceScatterHierMinBytes = minStableWinBytes(func(x int) bool {
+		return m.ReduceScatterHier(x) < m.ReduceScatterFlat(x)
+	})
+	return t, nil
+}

@@ -1,0 +1,217 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hnoc"
+	"repro/internal/mpi"
+)
+
+func TestTwoLevelModelStructure(t *testing.T) {
+	cl, place := hnoc.FatNode3x8()
+	m, err := NewTwoLevelModel(cl, place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.P != 24 || m.Machines != 3 || m.MaxNode != 8 || !m.Viable() {
+		t.Fatalf("structure P=%d M=%d maxNode=%d viable=%v", m.P, m.Machines, m.MaxNode, m.Viable())
+	}
+	// The intra model takes the worst internal bus (machine 2: 400 MB/s,
+	// 5 us), the inter model the Ethernet, the flat model the worst
+	// overall link — also the Ethernet.
+	if m.Intra.Bw != 400e6 || m.Intra.Lat != 5e-6 || m.Intra.P != 8 {
+		t.Fatalf("intra model %+v", m.Intra)
+	}
+	eth := hnoc.Ethernet100()
+	if m.Inter.Bw != eth.Bandwidth || m.Inter.Lat != eth.Latency || m.Inter.P != 3 {
+		t.Fatalf("inter model %+v", m.Inter)
+	}
+	if m.Flat.Bw != eth.Bandwidth || m.Flat.P != 24 {
+		t.Fatalf("flat model %+v", m.Flat)
+	}
+}
+
+func TestTwoLevelModelNonViable(t *testing.T) {
+	cl := hnoc.Paper9()
+	m, err := NewTwoLevelModel(cl, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Viable() || m.MaxNode != 1 {
+		t.Fatalf("one process per machine must not be viable: %+v", m)
+	}
+	tuning, err := AutoCollTuningFor(cl, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thresholds stay at their (inert) defaults.
+	if tuning.AllreduceHierMinBytes != 0 || tuning.ResolvedAllreduceHierMinBytes() != 64<<10 {
+		t.Fatalf("non-viable tuning %+v", tuning)
+	}
+}
+
+// slowBusCluster is a synthetic fat-node topology with an interior
+// crossover: the buses' latency is tiny (so the flat model's worst link
+// stays the Ethernet) but their bandwidth is so low that the hierarchy's
+// extra up-and-down bus transfers eat its Ethernet savings per byte. The
+// hierarchy then wins only below the crossover — on small payloads, where
+// the flat ring's 2(P-1) Ethernet latencies dominate.
+func slowBusCluster() (*hnoc.Cluster, []int) {
+	slowBus := hnoc.LinkSpec{Protocol: hnoc.ProtoSHM, Latency: 5e-6, Bandwidth: 50e6, Overhead: 1e-6}
+	return hnoc.FatNodes(
+		[]float64{100, 100, 100},
+		[]int{8, 8, 8},
+		[]hnoc.LinkSpec{slowBus, slowBus, slowBus},
+		hnoc.Ethernet100(),
+	)
+}
+
+// TestHierAllreduceCrossoverClosedForm checks the closed form against the
+// model formulas it solves, on the slow-bus topology whose crossover is
+// interior: below it the hierarchy must win, at and above it the flat
+// ring.
+func TestHierAllreduceCrossoverClosedForm(t *testing.T) {
+	cl, place := slowBusCluster()
+	m, err := NewTwoLevelModel(cl, place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := m.HierAllreduceWinRange()
+	if lo != 0 || hi <= 0 || hi == math.MaxInt {
+		t.Fatalf("win range = [%d, %d), want [0, interior)", lo, hi)
+	}
+	// ringMin 1: both sides at their large-message resolution, matching
+	// the closed form's comparison.
+	if hier, flat := m.AllreduceHier(hi, 1), m.Flat.AllreduceRing(hi); hier < flat {
+		t.Fatalf("at the crossover %d: hier %g < flat ring %g", hi, hier, flat)
+	}
+	below := hi * 9 / 10
+	if hier, flat := m.AllreduceHier(below, 1), m.Flat.AllreduceRing(below); hier >= flat {
+		t.Fatalf("below the crossover (%d): hier %g >= flat ring %g", below, hier, flat)
+	}
+	// A win region that closes again is inexpressible as a MinBytes
+	// threshold, so the derived policy must stay flat.
+	tuning, err := AutoCollTuningFor(cl, place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuning.AllreduceHierMinBytes != math.MaxInt {
+		t.Fatalf("AllreduceHierMinBytes = %d, want math.MaxInt (win region closes)", tuning.AllreduceHierMinBytes)
+	}
+}
+
+// TestHierWinsEverywhereOnFatNodes: on the benchmark topology the buses
+// are so much faster than the LAN that the hierarchy wins from the first
+// byte — the closed form must say so, and AutoCollTuningFor must lower
+// the threshold to its floor.
+func TestHierWinsEverywhereOnFatNodes(t *testing.T) {
+	cl, place := hnoc.FatNode3x8()
+	m, err := NewTwoLevelModel(cl, place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo, hi := m.HierAllreduceWinRange(); lo != 0 || hi != math.MaxInt {
+		t.Fatalf("win range = [%d, %d), want [0, MaxInt)", lo, hi)
+	}
+	tuning, err := AutoCollTuningFor(cl, place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuning.AllreduceHierMinBytes != 1 {
+		t.Fatalf("AllreduceHierMinBytes = %d, want 1 (hier wins everywhere)", tuning.AllreduceHierMinBytes)
+	}
+	// The broadcast's win region is a band on this topology: it opens
+	// near the floor and closes where the flat segmented pipeline's
+	// bandwidth optimality overtakes the depth savings.
+	if tuning.BcastHierMinBytes <= 0 || tuning.BcastHierMinBytes == math.MaxInt {
+		t.Fatalf("BcastHierMinBytes = %d, want a finite positive threshold", tuning.BcastHierMinBytes)
+	}
+	if tuning.BcastHierMaxBytes <= tuning.BcastHierMinBytes || tuning.BcastHierMaxBytes == math.MaxInt {
+		t.Fatalf("BcastHierMaxBytes = %d, want a finite band above MinBytes %d",
+			tuning.BcastHierMaxBytes, tuning.BcastHierMinBytes)
+	}
+	if tuning.GatherHierMaxBytes <= 0 {
+		t.Fatalf("GatherHierMaxBytes = %d, want positive", tuning.GatherHierMaxBytes)
+	}
+	if tuning.ReduceScatterHierMinBytes <= 0 {
+		t.Fatalf("ReduceScatterHierMinBytes = %d, want positive", tuning.ReduceScatterHierMinBytes)
+	}
+}
+
+// simAllreduce runs one Allreduce of nbytes under the tuning and returns
+// the simulated makespan in virtual seconds.
+func simAllreduce(t *testing.T, cl *hnoc.Cluster, place []int, tuning *mpi.CollTuning, nbytes int) float64 {
+	t.Helper()
+	w := mpi.NewWorld(cl, place)
+	w.SetCollTuning(tuning)
+	if err := w.Run(func(p *mpi.Proc) error {
+		p.CommWorld().Allreduce(make([]byte, nbytes), mpi.SumInt64)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return float64(w.Makespan())
+}
+
+// TestAutoMatchesSimulation is the tentpole acceptance check: away from
+// the crossover, the algorithm the model-driven Auto policy picks must be
+// the one the simulator says is faster — and the policy's simulated time
+// must equal the winner's (Auto actually dispatches to it).
+func TestAutoMatchesSimulation(t *testing.T) {
+	cl, place := hnoc.FatNode3x8()
+	tuning, err := AutoCollTuningFor(cl, place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forced baselines are copies of the derived tuning with only the
+	// Allreduce selector overridden, so the inner phases (the intra-node
+	// broadcast inside the hierarchical Allreduce, the net tier's own
+	// resolution) follow the same policy as the Auto run.
+	ringT, hierT := *tuning, *tuning
+	ringT.Allreduce, hierT.Allreduce = mpi.AllreduceRing, mpi.AllreduceHier
+	for _, nbytes := range []int{64 << 10, 1 << 20} {
+		ring := simAllreduce(t, cl, place, &ringT, nbytes)
+		hier := simAllreduce(t, cl, place, &hierT, nbytes)
+		auto := simAllreduce(t, cl, place, tuning, nbytes)
+		// The model says hier wins everywhere on this topology; the
+		// simulator must agree at these (off-crossover) sizes, and Auto
+		// must have dispatched hierarchically.
+		if hier >= ring {
+			t.Fatalf("%d bytes: simulated hier %g >= ring %g, but the model picked hier", nbytes, hier, ring)
+		}
+		if auto != hier {
+			t.Fatalf("%d bytes: Auto simulated %g, hier %g — Auto did not dispatch hierarchically", nbytes, auto, hier)
+		}
+	}
+	// On the slow-bus topology the model's win region closes at an
+	// interior crossover, so the derived policy (which cannot express
+	// "hier only below") stays flat. The simulator must agree with the
+	// side the policy dispatches: well above the crossover the flat ring
+	// really wins, and Auto's run is identical to the forced-ring run.
+	scl, splace := slowBusCluster()
+	stuning, err := AutoCollTuningFor(scl, splace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := NewTwoLevelModel(scl, splace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hi := sm.HierAllreduceWinRange()
+	if hi <= 0 || hi == math.MaxInt {
+		t.Fatalf("slow-bus topology: expected an interior crossover, got hi=%d", hi)
+	}
+	sringT, shierT := *stuning, *stuning
+	sringT.Allreduce, shierT.Allreduce = mpi.AllreduceRing, mpi.AllreduceHier
+	large := hi * 16 / 8 * 8 // well above the crossover, element-aligned
+	ring := simAllreduce(t, scl, splace, &sringT, large)
+	hier := simAllreduce(t, scl, splace, &shierT, large)
+	auto := simAllreduce(t, scl, splace, stuning, large)
+	if hier <= ring {
+		t.Fatalf("above the crossover (%d bytes): simulated hier %g <= ring %g", large, hier, ring)
+	}
+	if auto != ring {
+		t.Fatalf("above the crossover (%d bytes): Auto simulated %g, ring %g — Auto did not stay flat", large, auto, ring)
+	}
+}

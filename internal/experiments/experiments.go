@@ -57,6 +57,7 @@ func Registry() map[string]Generator {
 		"netdegrade":  TableNetDegrade,
 		"search":      TableSearch,
 		"coll":        TableColl,
+		"hier":        TableHier,
 	}
 }
 

@@ -182,7 +182,10 @@ func (c *Cluster) IsMachineFailed(i int) bool {
 	return i >= 0 && i < len(c.Machines) && c.Machines[i].Failed
 }
 
-// LinkOverride customises the link between one machine pair.
+// LinkOverride customises the link between one machine pair. An override
+// with A == B replaces machine A's intra-machine link (the bus its
+// co-located processes communicate through), so fat-node clusters can
+// give every machine a distinct internal speed.
 type LinkOverride struct {
 	A    int      `json:"a"`
 	B    int      `json:"b"`
@@ -193,15 +196,16 @@ type LinkOverride struct {
 func (c *Cluster) Size() int { return len(c.Machines) }
 
 // Link returns the link specification for messages from machine i to
-// machine j.
+// machine j. Overrides win over the defaults, including self-overrides
+// (A == B == i) over the shared Local link.
 func (c *Cluster) Link(i, j int) LinkSpec {
-	if i == j {
-		return c.Local
-	}
 	for _, o := range c.Overrides {
 		if (o.A == i && o.B == j) || (o.A == j && o.B == i) {
 			return o.Link
 		}
+	}
+	if i == j {
+		return c.Local
 	}
 	return c.Remote
 }
@@ -356,6 +360,63 @@ func TwoTier(n int, speed float64, intra, inter LinkSpec) *Cluster {
 		}
 	}
 	return c
+}
+
+// FatNodes returns a cluster of fat multi-core machines together with the
+// placement that runs counts[i] processes on machine i (rank blocks in
+// machine order). speeds, counts and locals must have equal length;
+// locals[i], when it has a non-zero bandwidth, becomes machine i's
+// intra-machine link via a self-override (A == B == i), so every machine
+// can have a distinct internal bus. remote joins distinct machines.
+//
+// This is the example topology of the hierarchy-aware collective engine:
+// processes co-located on one machine form a node tier over the fast
+// bus, one leader per machine forms the net tier over remote.
+func FatNodes(speeds []float64, counts []int, locals []LinkSpec, remote LinkSpec) (*Cluster, []int) {
+	if len(counts) != len(speeds) || len(locals) != len(speeds) {
+		panic(fmt.Sprintf("hnoc: FatNodes needs equal-length speeds/counts/locals, got %d/%d/%d",
+			len(speeds), len(counts), len(locals)))
+	}
+	c := &Cluster{
+		Remote: remote,
+		Local:  SharedMemory(),
+	}
+	var place []int
+	for i, s := range speeds {
+		c.Machines = append(c.Machines, Machine{
+			Name:  fmt.Sprintf("fat%02d", i),
+			Speed: s,
+		})
+		if locals[i].Bandwidth > 0 {
+			c.Overrides = append(c.Overrides, LinkOverride{A: i, B: i, Link: locals[i]})
+		}
+		for k := 0; k < counts[i]; k++ {
+			place = append(place, i)
+		}
+	}
+	return c, place
+}
+
+// FatNode3x8 is the hierarchy benchmark topology: three fat 8-core
+// machines in the spirit of the paper's fastest workstations (relative
+// speeds 176, 106, 46), each with its own internal bus — 800, 600 and
+// 400 MB/s — joined by the paper's switched 100 Mbit Ethernet. 24
+// processes, 8 per machine. The buses are all far faster than the LAN,
+// which is exactly the regime where two-level collectives win: the flat
+// ring drags 2(P-1) = 46 link latencies and ~2x the vector over the
+// Ethernet, the hierarchical allreduce crosses it only 2(M-1) = 4 times
+// with the leaders' 1/M share.
+func FatNode3x8() (*Cluster, []int) {
+	return FatNodes(
+		[]float64{176, 106, 46},
+		[]int{8, 8, 8},
+		[]LinkSpec{
+			{Protocol: ProtoSHM, Latency: 2e-6, Bandwidth: 800e6, Overhead: 1e-6},
+			{Protocol: ProtoSHM, Latency: 4e-6, Bandwidth: 600e6, Overhead: 2e-6},
+			{Protocol: ProtoSHM, Latency: 5e-6, Bandwidth: 400e6, Overhead: 2e-6},
+		},
+		Ethernet100(),
+	)
 }
 
 // Homogeneous returns an n-machine cluster with identical speed machines,

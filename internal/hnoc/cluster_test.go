@@ -314,3 +314,76 @@ func TestTwoTierTopology(t *testing.T) {
 		t.Errorf("same-machine protocol %q", got)
 	}
 }
+
+func TestFatNodeTopology(t *testing.T) {
+	c, place := FatNode3x8()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Size() != 3 || len(place) != 24 {
+		t.Fatalf("size = %d, placement %d ranks", c.Size(), len(place))
+	}
+	// Rank blocks: 8 processes per machine, in machine order.
+	for r, m := range place {
+		if m != r/8 {
+			t.Fatalf("rank %d placed on machine %d, want %d", r, m, r/8)
+		}
+	}
+	// Each machine's self-override is its own bus, distinct per machine
+	// and visible through Link despite i == j.
+	buses := []float64{800e6, 600e6, 400e6}
+	for i, bw := range buses {
+		l := c.Link(i, i)
+		if l.Protocol != ProtoSHM || l.Bandwidth != bw {
+			t.Errorf("machine %d bus = %+v, want shm at %v B/s", i, l, bw)
+		}
+	}
+	// Cross-machine pairs ride the Ethernet, both directions.
+	for i := 0; i < c.Size(); i++ {
+		for j := 0; j < c.Size(); j++ {
+			if i == j {
+				continue
+			}
+			if got := c.Link(i, j); got.Protocol != ProtoTCP || got.Bandwidth != Ethernet100().Bandwidth {
+				t.Errorf("link(%d,%d) = %+v, want the remote Ethernet", i, j, got)
+			}
+		}
+	}
+	// The buses must be genuinely faster than the LAN — the regime the
+	// two-level collectives are built for.
+	for i := range c.Machines {
+		if c.Link(i, i).Bandwidth <= c.Remote.Bandwidth {
+			t.Errorf("machine %d bus no faster than the LAN", i)
+		}
+	}
+}
+
+func TestFatNodesValidation(t *testing.T) {
+	// A machine without a bus override falls back to the default Local
+	// shared-memory link; a zero-bandwidth local spec means "no override".
+	c, place := FatNodes(
+		[]float64{10, 20},
+		[]int{1, 3},
+		[]LinkSpec{{}, {Protocol: ProtoSHM, Latency: 1e-6, Bandwidth: 5e8}},
+		Ethernet100(),
+	)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 1, 1, 1}; len(place) != len(want) {
+		t.Fatalf("placement %v", place)
+	}
+	if got := c.Link(0, 0); got != SharedMemory() {
+		t.Errorf("machine 0 link = %+v, want the default shared memory", got)
+	}
+	if got := c.Link(1, 1).Bandwidth; got != 5e8 {
+		t.Errorf("machine 1 bus bandwidth = %v, want 5e8", got)
+	}
+	// Mismatched argument lengths fail loudly.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FatNodes with mismatched lengths did not panic")
+		}
+	}()
+	FatNodes([]float64{1, 2}, []int{1}, []LinkSpec{{}, {}}, Ethernet100())
+}

@@ -217,10 +217,13 @@ func (c *Comm) bcastSegmented(root int, data []byte, knownLen int) []byte {
 func (c *Comm) bcastAuto(root int, data []byte) ([]byte, BcastAlg) {
 	alg := BcastBinomial
 	if c.rank == root {
-		alg = c.coll().bcastAlg(len(data))
+		alg = c.bcastAlgFor(len(data))
 	}
 	alg, length := c.bcastHeader(root, alg, len(data))
-	if alg == BcastSegmented {
+	switch alg {
+	case BcastHier:
+		return c.bcastHier(root, data), alg
+	case BcastSegmented:
 		return c.bcastSegmented(root, data, length), alg
 	}
 	return c.bcastBinomial(root, data), alg

@@ -27,6 +27,7 @@ const (
 	tagReduceScatter
 	tagBcastHdr
 	tagScatterHdr
+	tagHier
 )
 
 // Barrier blocks until all members have entered it (dissemination
@@ -61,7 +62,9 @@ func (c *Comm) Bcast(root int, data []byte) []byte {
 	switch alg {
 	case BcastSegmented:
 		out = c.bcastSegmented(root, data, -1)
-	case BcastAuto:
+	case BcastAuto, BcastHier:
+		// Both resolve at the root (explicit Hier still needs the agreed
+		// viability fallback) and travel down the header tree.
 		out, alg = c.bcastAuto(root, data)
 	default:
 		alg = BcastBinomial
@@ -141,7 +144,7 @@ func (c *Comm) Reduce(root int, data []byte, op Op) []byte {
 func (c *Comm) Allreduce(data []byte, op Op) []byte {
 	n := c.Size()
 	rec, t0, w0 := c.collStart()
-	alg := c.coll().allreduceAlg(n, len(data))
+	alg := c.allreduceAlgFor(n, len(data))
 	var out []byte
 	switch alg {
 	case AllreduceRecursiveDoubling:
@@ -156,6 +159,11 @@ func (c *Comm) Allreduce(data []byte, op Op) []byte {
 		}
 		c.collCheck()
 		out = c.allreduceRing(data, op)
+	case AllreduceHier:
+		// allreduceAlgFor only picks Hier on communicators with a
+		// two-level structure, which implies n > 1.
+		c.collCheck()
+		out = c.allreduceHier(data, op)
 	default:
 		alg = AllreduceRedBcast
 		out = c.Bcast(0, c.Reduce(0, data, op))
@@ -179,11 +187,14 @@ func (c *Comm) Gather(root int, data []byte) [][]byte {
 		c.collCheck()
 	}
 	rec, t0, w0 := c.collStart()
-	alg := c.coll().gatherAlg(c.Size(), len(data))
+	alg := c.gatherAlgFor(c.Size(), len(data))
 	var out [][]byte
-	if alg == GatherBinomial && c.Size() > 1 {
+	switch {
+	case alg == GatherHier && c.Size() > 1:
+		out = c.gatherHier(root, data)
+	case alg == GatherBinomial && c.Size() > 1:
 		out = c.gatherBinomial(root, data)
-	} else {
+	default:
 		alg = GatherFlat
 		out = c.gatherFlat(root, data)
 	}
@@ -352,7 +363,18 @@ func (c *Comm) ReduceScatter(parts [][]byte, op Op) []byte {
 	if n > 1 {
 		c.collCheck()
 		c.reduceScatterValidate(parts)
-		if c.coll().reduceScatterAlg() == ReduceScatterPairwise {
+		total := 0
+		for _, p := range parts {
+			total += len(p)
+		}
+		switch c.reduceScatterAlgFor(total) {
+		case ReduceScatterHier:
+			out := c.reduceScatterHier(parts, op)
+			if rec != nil {
+				c.collEnd(reduceScatterAlgNames[ReduceScatterHier], int64(ReduceScatterHier), len(out), t0, w0)
+			}
+			return out
+		case ReduceScatterPairwise:
 			out := c.reduceScatterPairwise(parts, op)
 			if rec != nil {
 				c.collEnd(reduceScatterAlgNames[ReduceScatterPairwise], int64(ReduceScatterPairwise), len(out), t0, w0)

@@ -1,5 +1,10 @@
 package mpi
 
+import (
+	"fmt"
+	"math"
+)
+
 // Collective algorithm selection. Every collective with more than one
 // implementation consults its communicator's CollTuning to pick one; the
 // zero value of every algorithm field is the legacy algorithm, so a nil
@@ -32,8 +37,14 @@ const (
 	AllreduceRing
 	// AllreduceAuto picks recursive doubling below AllreduceRingMinBytes
 	// and the ring at or above it (falling back when the length is not
-	// ElemSize-aligned).
+	// ElemSize-aligned); on a communicator with a two-level structure it
+	// picks the hierarchical algorithm at or above AllreduceHierMinBytes.
 	AllreduceAuto
+	// AllreduceHier is the two-level algorithm: binomial reduce to each
+	// machine's leader over the node tier, Allreduce among leaders over
+	// the net tier, broadcast back over the node tier. Falls back to the
+	// Auto resolution on communicators without a two-level structure.
+	AllreduceHier
 )
 
 // ReduceScatterAlg selects the ReduceScatter implementation.
@@ -47,9 +58,16 @@ const (
 	// each rank only ever sends the block destined for its peer — nothing
 	// is concatenated through rank 0.
 	ReduceScatterPairwise
-	// ReduceScatterAuto currently always picks pairwise (it dominates the
-	// via-root algorithm at every size on a switched network).
+	// ReduceScatterAuto picks pairwise (it dominates the via-root
+	// algorithm at every size on a switched network), switching to the
+	// hierarchical algorithm on two-level communicators at or above
+	// ReduceScatterHierMinBytes total payload.
 	ReduceScatterAuto
+	// ReduceScatterHier is the two-level algorithm: node-tier reduce to
+	// the machine leader, pairwise exchange of machine blocks over the
+	// net tier, node-tier scatter. Falls back to the Auto resolution on
+	// communicators without a two-level structure.
+	ReduceScatterHier
 )
 
 // BcastAlg selects the Bcast implementation.
@@ -64,9 +82,16 @@ const (
 	// segment k+1 is still in flight to it.
 	BcastSegmented
 	// BcastAuto lets the root pick by payload size (segmented at or above
-	// BcastSegMinBytes) and distribute the choice in a small header down
-	// the tree, since only the root knows the payload length.
+	// BcastSegMinBytes, hierarchical within the [BcastHierMinBytes,
+	// BcastHierMaxBytes] band on a two-level communicator) and
+	// distribute the choice in a small header
+	// down the tree, since only the root knows the payload length.
 	BcastAuto
+	// BcastHier is the two-level algorithm: the root hands its payload to
+	// its machine leader, the leaders broadcast over the net tier, each
+	// leader fans out over its node tier. Falls back to the Auto
+	// resolution on communicators without a two-level structure.
+	BcastHier
 )
 
 // GatherAlg selects the Gather implementation.
@@ -82,8 +107,16 @@ const (
 	GatherBinomial
 	// GatherAuto picks the binomial tree when the communicator has at
 	// least TreeMinRanks members and the local payload is at most
-	// TreeMaxBytes; the flat tree otherwise.
+	// TreeMaxBytes; the flat tree otherwise. On a two-level communicator
+	// it picks the hierarchical gather when the local payload is at most
+	// GatherHierMaxBytes.
 	GatherAuto
+	// GatherHier is the two-level algorithm: node-tier gather onto each
+	// machine's leader, net-tier gather of per-machine bundles onto the
+	// root machine's leader, one intra-machine hop to the root. Falls
+	// back to the Auto resolution on communicators without a two-level
+	// structure.
+	GatherHier
 )
 
 // ScatterAlg selects the Scatter implementation.
@@ -135,17 +168,65 @@ type CollTuning struct {
 	// algorithms (the ring) cut the vector only on multiples of it. Zero
 	// means the default (8, the width of every Op in this library).
 	ElemSize int
+
+	// AllreduceHierMinBytes is the payload size at which AllreduceAuto
+	// switches to the hierarchical algorithm on a two-level communicator.
+	// Zero means the default (64 KiB).
+	AllreduceHierMinBytes int
+	// BcastHierMinBytes is the payload size at which BcastAuto switches
+	// to the hierarchical broadcast on a two-level communicator. Zero
+	// means the default (64 KiB).
+	BcastHierMinBytes int
+	// BcastHierMaxBytes is the largest payload for which BcastAuto keeps
+	// the hierarchical broadcast: a pipelined segmented broadcast already
+	// runs at link bandwidth, so at very large payloads the hierarchy's
+	// extra root-to-leader copy of the full vector outweighs the tree
+	// depth it saves — its win region is a band, not a half-line. Zero
+	// means the default (no upper bound).
+	BcastHierMaxBytes int
+	// GatherHierMaxBytes is the largest per-member payload for which
+	// GatherAuto picks the hierarchical gather on a two-level
+	// communicator (above it the leaders' store-and-forward staging
+	// costs more than the flat fan saves in per-message overhead). Zero
+	// means the default (64 KiB).
+	GatherHierMaxBytes int
+	// ReduceScatterHierMinBytes is the total payload size at which
+	// ReduceScatterAuto switches to the hierarchical algorithm on a
+	// two-level communicator. Zero means the default (64 KiB).
+	ReduceScatterHierMinBytes int
 }
 
 // Default thresholds; see the CollTuning field docs.
 const (
-	defaultAllreduceRingMinBytes = 32 << 10
-	defaultBcastSegMinBytes      = 64 << 10
-	defaultSegSize               = 16 << 10
-	defaultTreeMinRanks          = 8
-	defaultTreeMaxBytes          = 1 << 10
-	defaultElemSize              = 8
+	defaultAllreduceRingMinBytes     = 32 << 10
+	defaultBcastSegMinBytes          = 64 << 10
+	defaultSegSize                   = 16 << 10
+	defaultTreeMinRanks              = 8
+	defaultTreeMaxBytes              = 1 << 10
+	defaultElemSize                  = 8
+	defaultAllreduceHierMinBytes     = 64 << 10
+	defaultBcastHierMinBytes         = 64 << 10
+	defaultBcastHierMaxBytes         = math.MaxInt
+	defaultGatherHierMaxBytes        = 64 << 10
+	defaultReduceScatterHierMinBytes = 64 << 10
 )
+
+// threshold resolves one CollTuning threshold field: zero selects the
+// library default (the zero value of CollTuning is the documented
+// "defaults everywhere" policy, so an unset field cannot be told apart
+// from an explicit zero — explicit zero IS "use the default"). A negative
+// value can only be an explicit override, and no threshold has a
+// meaningful negative interpretation, so it fails loudly instead of
+// silently falling back to the default as it used to.
+func threshold(v, def int, name string) int {
+	if v < 0 {
+		panic(fmt.Sprintf("mpi: CollTuning.%s must not be negative (got %d); zero selects the default", name, v))
+	}
+	if v > 0 {
+		return v
+	}
+	return def
+}
 
 // defaultCollTuning is the policy of communicators with no explicit one.
 var defaultCollTuning = CollTuning{}
@@ -175,46 +256,93 @@ func (c *Comm) coll() *CollTuning {
 }
 
 func (t *CollTuning) allreduceRingMinBytes() int {
-	if t.AllreduceRingMinBytes > 0 {
-		return t.AllreduceRingMinBytes
-	}
-	return defaultAllreduceRingMinBytes
+	return threshold(t.AllreduceRingMinBytes, defaultAllreduceRingMinBytes, "AllreduceRingMinBytes")
 }
 
 func (t *CollTuning) bcastSegMinBytes() int {
-	if t.BcastSegMinBytes > 0 {
-		return t.BcastSegMinBytes
-	}
-	return defaultBcastSegMinBytes
+	return threshold(t.BcastSegMinBytes, defaultBcastSegMinBytes, "BcastSegMinBytes")
 }
 
 func (t *CollTuning) segSize() int {
-	if t.SegSize > 0 {
-		return t.SegSize
-	}
-	return defaultSegSize
+	return threshold(t.SegSize, defaultSegSize, "SegSize")
 }
 
 func (t *CollTuning) treeMinRanks() int {
-	if t.TreeMinRanks > 0 {
-		return t.TreeMinRanks
-	}
-	return defaultTreeMinRanks
+	return threshold(t.TreeMinRanks, defaultTreeMinRanks, "TreeMinRanks")
 }
 
 func (t *CollTuning) treeMaxBytes() int {
-	if t.TreeMaxBytes > 0 {
-		return t.TreeMaxBytes
-	}
-	return defaultTreeMaxBytes
+	return threshold(t.TreeMaxBytes, defaultTreeMaxBytes, "TreeMaxBytes")
 }
 
 func (t *CollTuning) elemSize() int {
-	if t.ElemSize > 0 {
-		return t.ElemSize
-	}
-	return defaultElemSize
+	return threshold(t.ElemSize, defaultElemSize, "ElemSize")
 }
+
+func (t *CollTuning) allreduceHierMinBytes() int {
+	return threshold(t.AllreduceHierMinBytes, defaultAllreduceHierMinBytes, "AllreduceHierMinBytes")
+}
+
+func (t *CollTuning) bcastHierMinBytes() int {
+	return threshold(t.BcastHierMinBytes, defaultBcastHierMinBytes, "BcastHierMinBytes")
+}
+
+func (t *CollTuning) bcastHierMaxBytes() int {
+	return threshold(t.BcastHierMaxBytes, defaultBcastHierMaxBytes, "BcastHierMaxBytes")
+}
+
+func (t *CollTuning) gatherHierMaxBytes() int {
+	return threshold(t.GatherHierMaxBytes, defaultGatherHierMaxBytes, "GatherHierMaxBytes")
+}
+
+func (t *CollTuning) reduceScatterHierMinBytes() int {
+	return threshold(t.ReduceScatterHierMinBytes, defaultReduceScatterHierMinBytes, "ReduceScatterHierMinBytes")
+}
+
+// Resolved* getters expose the effective thresholds (defaults applied,
+// negatives rejected) for callers outside the package — the estimator's
+// model-driven AutoCollTuningFor validates its choices against them.
+
+// ResolvedAllreduceRingMinBytes returns the effective ring threshold.
+func (t *CollTuning) ResolvedAllreduceRingMinBytes() int { return t.allreduceRingMinBytes() }
+
+// ResolvedAllreduceHierMinBytes returns the effective hierarchical
+// Allreduce threshold.
+func (t *CollTuning) ResolvedAllreduceHierMinBytes() int { return t.allreduceHierMinBytes() }
+
+// ResolvedBcastHierMinBytes returns the effective hierarchical Bcast
+// threshold.
+func (t *CollTuning) ResolvedBcastHierMinBytes() int { return t.bcastHierMinBytes() }
+
+// ResolvedBcastHierMaxBytes returns the effective hierarchical Bcast
+// upper cutoff.
+func (t *CollTuning) ResolvedBcastHierMaxBytes() int { return t.bcastHierMaxBytes() }
+
+// ResolvedGatherHierMaxBytes returns the effective hierarchical Gather
+// cutoff.
+func (t *CollTuning) ResolvedGatherHierMaxBytes() int { return t.gatherHierMaxBytes() }
+
+// ResolvedReduceScatterHierMinBytes returns the effective hierarchical
+// ReduceScatter threshold.
+func (t *CollTuning) ResolvedReduceScatterHierMinBytes() int { return t.reduceScatterHierMinBytes() }
+
+// ResolvedElemSize returns the effective reduction element width.
+func (t *CollTuning) ResolvedElemSize() int { return t.elemSize() }
+
+// ResolvedBcastSegMinBytes returns the effective segmented-broadcast
+// threshold.
+func (t *CollTuning) ResolvedBcastSegMinBytes() int { return t.bcastSegMinBytes() }
+
+// ResolvedSegSize returns the effective broadcast segment size.
+func (t *CollTuning) ResolvedSegSize() int { return t.segSize() }
+
+// ResolvedTreeMinRanks returns the effective binomial gather/scatter
+// member minimum.
+func (t *CollTuning) ResolvedTreeMinRanks() int { return t.treeMinRanks() }
+
+// ResolvedTreeMaxBytes returns the effective binomial gather/scatter
+// payload cutoff.
+func (t *CollTuning) ResolvedTreeMaxBytes() int { return t.treeMaxBytes() }
 
 // allreduceAlg resolves Auto for an n-member Allreduce of nbytes. All
 // members know nbytes (Allreduce requires agreed lengths), so the
@@ -223,6 +351,13 @@ func (t *CollTuning) allreduceAlg(n, nbytes int) AllreduceAlg {
 	if t.Allreduce != AllreduceAuto {
 		return t.Allreduce
 	}
+	return t.allreduceAutoAlg(n, nbytes)
+}
+
+// allreduceAutoAlg is the flat size-aware resolution, regardless of the
+// configured algorithm — the fallback when a hierarchical choice is not
+// available.
+func (t *CollTuning) allreduceAutoAlg(n, nbytes int) AllreduceAlg {
 	if nbytes >= t.allreduceRingMinBytes() && nbytes%t.elemSize() == 0 && n > 2 {
 		return AllreduceRing
 	}
@@ -243,6 +378,11 @@ func (t *CollTuning) bcastAlg(nbytes int) BcastAlg {
 	if t.Bcast != BcastAuto {
 		return t.Bcast
 	}
+	return t.bcastAutoAlg(nbytes)
+}
+
+// bcastAutoAlg is the flat size-aware resolution (see allreduceAutoAlg).
+func (t *CollTuning) bcastAutoAlg(nbytes int) BcastAlg {
 	if nbytes >= t.bcastSegMinBytes() {
 		return BcastSegmented
 	}
@@ -254,6 +394,11 @@ func (t *CollTuning) gatherAlg(n, nbytes int) GatherAlg {
 	if t.Gather != GatherAuto {
 		return t.Gather
 	}
+	return t.gatherAutoAlg(n, nbytes)
+}
+
+// gatherAutoAlg is the flat size-aware resolution (see allreduceAutoAlg).
+func (t *CollTuning) gatherAutoAlg(n, nbytes int) GatherAlg {
 	if n >= t.treeMinRanks() && nbytes <= t.treeMaxBytes() {
 		return GatherBinomial
 	}

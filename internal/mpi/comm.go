@@ -41,6 +41,13 @@ type Comm struct {
 	// (nil means DefaultCollTuning). Inherited by derived communicators.
 	tuning *CollTuning
 
+	// hi caches the hierarchy (node/net tier communicators, see hier.go)
+	// derived from the placement. Deliberately NOT inherited: a derived
+	// communicator starts with a nil cache and recomputes its own tiers
+	// from its own member list, so Split/Shrink results never see a stale
+	// parent hierarchy. Owned by this handle; released by Free.
+	hi *hierInfo
+
 	deriveSeq int64 // per-process count of collective comm constructors
 	agreeSeq  int64 // per-process count of AgreeFailed calls (ft.go)
 	nbSeq     int64 // per-process count of nonblocking collectives (nbcoll.go)
@@ -196,9 +203,11 @@ func (c *Comm) Create(group *Group) *Comm {
 	}
 }
 
-// Free releases the communicator. The simulation keeps no global state per
-// communicator, so Free only invalidates the handle against reuse.
+// Free releases the communicator and the tier communicators its hierarchy
+// cache owns (see hier.go). The simulation keeps no global state per
+// communicator, so Free only invalidates the handles against reuse.
 func (c *Comm) Free() {
+	c.freeHier()
 	c.s = &commShared{id: -1}
 	c.rank = -1
 }

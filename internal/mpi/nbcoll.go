@@ -117,6 +117,14 @@ func (c *Comm) Iallreduce(data []byte, op Op) *Request {
 	if n > 1 {
 		c.collCheck()
 		sc.tag = c.nbTag()
+		if c.allreduceAlgFor(n, len(data)) == AllreduceHier {
+			// Hierarchy-aware schedule: node-tier reduce to the machine
+			// leader, redbcast among leaders, node-tier broadcast (see
+			// hier.go). The selection is agreed (all members resolve the
+			// same algorithm from the same tuning and placement).
+			c.hierAllreduceSteps(sc)
+			return c.postColl(sc, len(data))
+		}
 		// Reduce towards rank 0: fold each child rank|mask, then hand the
 		// accumulator to the parent rank&^mask at this rank's lowest set
 		// bit. Fold order matches the blocking Reduce exactly.

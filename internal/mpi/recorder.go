@@ -83,18 +83,26 @@ var (
 		AllreduceRedBcast:          "allreduce/redbcast",
 		AllreduceRecursiveDoubling: "allreduce/recdbl",
 		AllreduceRing:              "allreduce/ring",
+		AllreduceAuto:              "allreduce/auto",
+		AllreduceHier:              "allreduce/hier",
 	}
 	reduceScatterAlgNames = [...]string{
 		ReduceScatterViaRoot:  "reducescatter/viaroot",
 		ReduceScatterPairwise: "reducescatter/pairwise",
+		ReduceScatterAuto:     "reducescatter/auto",
+		ReduceScatterHier:     "reducescatter/hier",
 	}
 	bcastAlgNames = [...]string{
 		BcastBinomial:  "bcast/binomial",
 		BcastSegmented: "bcast/segmented",
+		BcastAuto:      "bcast/auto",
+		BcastHier:      "bcast/hier",
 	}
 	gatherAlgNames = [...]string{
 		GatherFlat:     "gather/flat",
 		GatherBinomial: "gather/binomial",
+		GatherAuto:     "gather/auto",
+		GatherHier:     "gather/hier",
 	}
 	scatterAlgNames = [...]string{
 		ScatterFlat:     "scatter/flat",
