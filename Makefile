@@ -57,7 +57,11 @@ race:
 # >= 1.3x; BENCH_PR9.json records the two-level collective engine on the
 # fat-node topology (flat vs hierarchical vs model-driven Auto, blocked
 # and interleaved placements) and gates the 1 MiB Allreduce row at
-# >= 1.2x over the flat ring.
+# >= 1.2x over the flat ring; BENCH_PR10.json records the hmpid job
+# service (concurrent jobs/sec, the persistent selection cache's hit
+# rates, the warm-vs-cold speedup for a returning tenant, and
+# bit-identity against serial hmpirun), gated by its test at > 50% hits
+# on repeats and >= 1.5x warm speedup.
 bench:
 	$(GO) test -bench=. -benchmem .
 	$(GO) test -bench=. -benchmem ./internal/mpi/
@@ -66,6 +70,7 @@ bench:
 	$(GO) run ./cmd/hmpibench -tracebench BENCH_PR5.json
 	$(GO) run ./cmd/hmpibench -overlapbench BENCH_PR8.json
 	$(GO) run ./cmd/hmpibench -hierbench BENCH_PR9.json
+	$(GO) run ./cmd/hmpibench -servicebench BENCH_PR10.json
 
 # Profile the group-selection sweep; inspect with `go tool pprof`.
 profile:
@@ -98,4 +103,4 @@ examples:
 	$(GO) run ./examples/tcptransport
 
 clean:
-	rm -rf out test_output.txt bench_output.txt BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR8.json BENCH_PR9.json cpu.pprof mem.pprof em3d.trace em3d.metrics.json em3d.chrome.json verify_em3d.trace verify_chaos.trace hmpivet.json
+	rm -rf out test_output.txt bench_output.txt BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json BENCH_PR8.json BENCH_PR9.json BENCH_PR10.json cpu.pprof mem.pprof em3d.trace em3d.metrics.json em3d.chrome.json verify_em3d.trace verify_chaos.trace hmpivet.json

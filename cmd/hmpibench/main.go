@@ -13,6 +13,7 @@
 //	hmpibench -tracebench BENCH_PR5.json    # tracing-overhead benchmark as JSON
 //	hmpibench -overlapbench BENCH_PR8.json  # compute/comm-overlap benchmark as JSON
 //	hmpibench -hierbench BENCH_PR9.json     # two-level collective benchmark as JSON
+//	hmpibench -servicebench BENCH_PR10.json # hmpid job-service benchmark as JSON
 //	hmpibench -fig mapper -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -86,6 +87,23 @@ func writeOverlapBench(path string) error {
 	return err
 }
 
+// writeServiceBench runs the hmpid job-service benchmark (multi-tenant
+// job mix through an in-process daemon: concurrent throughput, the
+// persistent selection cache's hit rates, the warm-vs-cold speedup, and
+// bit-identity against serial hmpirun) and stores it as JSON (the
+// artifact CI publishes as the service performance record). The report
+// errors if any makespan diverges from the serial reference; the JSON is
+// written either way so a failed gate still leaves the evidence behind.
+func writeServiceBench(path string) error {
+	bench, err := experiments.ServiceBenchReport()
+	if bench != nil {
+		if werr := experiments.WriteBenchJSON(path, bench); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
+}
+
 // writeCSV stores one figure as CSV in dir.
 func writeCSV(dir, id string, f *experiments.Figure) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -109,6 +127,7 @@ func main() {
 	traceBench := flag.String("tracebench", "", "run the tracing-overhead benchmark and write it as JSON to the given file, then exit")
 	overlapBench := flag.String("overlapbench", "", "run the compute/communication-overlap benchmark and write it as JSON to the given file, then exit")
 	hierBench := flag.String("hierbench", "", "run the two-level collective benchmark and write it as JSON to the given file, then exit")
+	serviceBench := flag.String("servicebench", "", "run the hmpid job-service benchmark and write it as JSON to the given file, then exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to the given file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to the given file")
 	flag.Parse()
@@ -183,6 +202,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *hierBench)
+		return
+	}
+
+	if *serviceBench != "" {
+		if err := writeServiceBench(*serviceBench); err != nil {
+			fmt.Fprintf(os.Stderr, "hmpibench: servicebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *serviceBench)
 		return
 	}
 

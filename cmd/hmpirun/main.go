@@ -14,6 +14,9 @@
 //	hmpirun -app em3d -chaos "link:2-5@0.3+0.4:drop=0.2" -degrade
 //	hmpirun -app em3d -chaos "part:{0,1,2}|{3..8}@0.5+0.2"
 //
+// The job flags (application, workload dimensions, cluster, chaos) are
+// defined in internal/jobspec and shared verbatim with the hmpid service,
+// so a flag line that works here also describes a submittable job there.
 // The cluster defaults to the paper's nine-workstation network; -cluster
 // loads a JSON configuration (see hnoc.Cluster). -chaos injects faults
 // from a deterministic schedule and runs the application under the
@@ -39,260 +42,130 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/apps/em3d"
-	"repro/internal/apps/jacobi"
-	"repro/internal/apps/matmul"
 	"repro/internal/chaos"
 	"repro/internal/hmpi"
-	"repro/internal/hnoc"
+	"repro/internal/jobspec"
 	"repro/internal/mpi"
 	trc "repro/internal/trace"
 )
 
 func main() {
-	app := flag.String("app", "em3d", "application: em3d, matmul or jacobi")
-	mode := flag.String("mode", "both", "hmpi, mpi or both")
-	clusterPath := flag.String("cluster", "", "cluster JSON file (default: the paper's 9-machine network)")
-	nodes := flag.Int("nodes", 400_000, "em3d: total nodes")
-	subbodies := flag.Int("p", 9, "em3d: number of subbodies")
-	iters := flag.Int("iters", 10, "em3d: iterations")
-	n := flag.Int("n", 90, "matmul: matrix size in r x r blocks")
-	r := flag.Int("r", 9, "matmul: block size in elements")
-	l := flag.Int("l", 9, "matmul: generalised block size (0 = search)")
-	m := flag.Int("m", 3, "matmul: processor grid dimension")
-	gridRows := flag.Int("grid", 1800, "jacobi: grid dimension (rows = cols)")
+	jf := jobspec.RegisterFlags(flag.CommandLine, jobspec.ModeBoth)
 	trace := flag.Bool("trace", false, "print a per-process activity timeline after each run")
 	ganttWidth := flag.Int("trace-width", 100, "timeline width in columns")
 	traceFile := flag.String("tracefile", "", "record a structured event trace and write it to this file (binary; analyse with hmpitrace)")
 	metricsFile := flag.String("metrics", "", "write a metrics-registry snapshot of the recorded run to this JSON file")
-	chaosSpec := flag.String("chaos", "",
-		`fault schedule, e.g. "2@0.5;4@1.2", "link:2-5@0.3:drop=0.2" or "part:{0,1}|{2..8}@0.5+0.2"; runs the app under the self-healing harness`)
-	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the probabilistic link-fault draws (reproducible per seed)")
-	degrade := flag.Bool("degrade", false, "fold chronically lossy links into the cost model and reselect the group around them (needs -chaos link faults)")
 	flag.Parse()
 
-	if (*traceFile != "" || *metricsFile != "") && *mode == "both" && *chaosSpec == "" {
+	spec, err := jf.Spec()
+	if err != nil {
+		fatal(err)
+	}
+	modes := []string{spec.Mode}
+	if jf.Mode() == jobspec.ModeBoth && spec.Chaos == "" {
+		modes = []string{jobspec.ModeHMPI, jobspec.ModeMPI}
+	}
+	if (*traceFile != "" || *metricsFile != "") && len(modes) > 1 {
 		fatal(errors.New("-tracefile/-metrics record a single run; pick -mode hmpi or -mode mpi"))
 	}
 
-	cluster := hnoc.Paper9()
-	if *clusterPath != "" {
-		var err error
-		cluster, err = hnoc.LoadFile(*clusterPath)
+	machines := len(spec.ClusterOrDefault().Machines)
+	for _, mode := range modes {
+		spec.Mode = mode
+		var lastTrace *mpi.Trace
+		var rec *trc.Recorder
+		opts := jobspec.ExecOptions{
+			OnRuntime: func(rt *hmpi.Runtime) {
+				if *trace {
+					lastTrace = rt.EnableTracing()
+				}
+				if *traceFile != "" || *metricsFile != "" {
+					rec = rt.EnableRecorder(spec.App, trc.Options{})
+				}
+			},
+			OnChaosKill: func(e chaos.Event) {
+				fmt.Printf("chaos: rank %d killed at t=%.6gs\n", e.Rank, float64(e.At))
+			},
+		}
+		if spec.Chaos != "" {
+			fmt.Printf("chaos: schedule %q seed %d\n", spec.Chaos, spec.ChaosSeed)
+		}
+		res, err := jobspec.Execute(spec, opts)
 		if err != nil {
 			fatal(err)
 		}
+		printResult(spec, res)
+		if *trace && lastTrace != nil {
+			fmt.Printf("--- %s %s timeline ---\n", res.App, mode)
+			if err := lastTrace.Gantt(os.Stdout, machines, *ganttWidth); err != nil {
+				fatal(err)
+			}
+		}
+		saveObs(rec, *traceFile, *metricsFile)
 	}
+}
 
-	var lastTrace *mpi.Trace
-	var rec *trc.Recorder
-	newRT := func() *hmpi.Runtime {
-		rt, err := hmpi.New(hmpi.Config{Cluster: cluster})
-		if err != nil {
-			fatal(err)
+// printResult prints the one-line summary of a finished run, matching the
+// historical hmpirun output formats.
+func printResult(spec jobspec.Spec, res *jobspec.Result) {
+	switch {
+	case spec.Chaos != "":
+		fmt.Printf("%s hmpi+chaos: time %.6gs work %.6gs recovery %.6gs attempts %d",
+			res.App, float64(res.Time), float64(res.WorkTime), float64(res.Recovery), res.Attempts)
+		if res.App == "matmul" {
+			fmt.Printf(" l=%d", res.L)
 		}
-		if *trace {
-			lastTrace = rt.EnableTracing()
+		fmt.Printf(" selection %v\n", res.Selection)
+		if len(res.Degraded) > 0 {
+			fmt.Printf("chaos: degraded machine pairs %v (cost model updated, group reselected)\n", res.Degraded)
 		}
-		if *traceFile != "" || *metricsFile != "" {
-			rec = rt.EnableRecorder(*app, trc.Options{})
+	case spec.Mode == jobspec.ModeHMPI:
+		fmt.Printf("%s hmpi: time %.6gs predicted %.6gs", res.App, float64(res.Time), res.Predicted)
+		if res.App == "matmul" {
+			fmt.Printf(" l=%d", res.L)
 		}
-		return rt
-	}
-	// saveObs writes the recorded structured trace and metrics snapshot,
-	// once, after the traced run completes.
-	saveObs := func() {
-		if rec == nil {
-			return
+		if res.App == "jacobi" {
+			fmt.Printf(" heights %v", res.Heights)
 		}
-		d := rec.Data()
-		if *traceFile != "" {
-			if err := d.WriteFile(*traceFile); err != nil {
-				fatal(err)
-			}
-			fmt.Printf("trace: wrote %s (%d events, %d dropped)\n", *traceFile, len(d.Events()), d.Meta.Dropped)
-		}
-		if *metricsFile != "" {
-			reg := trc.NewRegistry()
-			reg.FillFromData(d)
-			f, err := os.Create(*metricsFile)
-			if err != nil {
-				fatal(err)
-			}
-			if err := reg.Snapshot().WriteJSON(f); err != nil {
-				fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-			fmt.Printf("trace: wrote metrics %s\n", *metricsFile)
-		}
-		rec = nil
-	}
-	printTrace := func(label string, ranks int) {
-		defer saveObs()
-		if !*trace || lastTrace == nil {
-			return
-		}
-		fmt.Printf("--- %s timeline ---\n", label)
-		if err := lastTrace.Gantt(os.Stdout, ranks, *ganttWidth); err != nil {
-			fatal(err)
-		}
-		lastTrace = nil
-	}
-	// armChaos parses the -chaos spec and arms it on the runtime's world:
-	// kills attach to the virtual clock, link faults install the seeded
-	// frame filter with retransmission. Each kill is reported as it fires.
-	armChaos := func(rt *hmpi.Runtime) {
-		sched, err := chaos.Parse(*chaosSpec, rt.World().Size())
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("chaos: schedule %q seed %d\n", sched, *chaosSeed)
-		if err := sched.Arm(rt.World(), *chaosSeed, func(e chaos.Event) {
-			fmt.Printf("chaos: rank %d killed at t=%.6gs\n", e.Rank, float64(e.At))
-		}); err != nil {
-			fatal(err)
-		}
-		if *degrade {
-			rt.EnableDegradation(hmpi.DefaultDegradationPolicy())
-		}
-	}
-	if *chaosSpec != "" && *mode == "mpi" {
-		fatal(errors.New("-chaos needs the HMPI mode: the plain MPI baseline has no recovery"))
-	}
-	if *degrade && *chaosSpec == "" {
-		fatal(errors.New("-degrade reacts to link faults; give it some with -chaos"))
-	}
-
-	switch *app {
-	case "em3d":
-		pr, err := em3d.Generate(em3d.Config{P: *subbodies, TotalNodes: *nodes, Light: true})
-		if err != nil {
-			fatal(err)
-		}
-		opts := em3d.RunOptions{Iters: *iters}
-		if *chaosSpec != "" {
-			rt := newRT()
-			armChaos(rt)
-			res, err := em3d.RunResilientHMPI(rt, pr, opts)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("em3d hmpi+chaos: time %.6gs work %.6gs recovery %.6gs attempts %d selection %v\n",
-				float64(res.Time), float64(res.WorkTime), float64(res.Recovery), res.Attempts, res.Selection)
-			reportDegraded(rt)
-			printTrace("em3d hmpi+chaos", len(cluster.Machines))
-			return
-		}
-		if *mode == "hmpi" || *mode == "both" {
-			res, err := em3d.RunHMPI(newRT(), pr, opts)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("em3d hmpi: time %.6gs predicted %.6gs selection %v\n",
-				float64(res.Time), res.Predicted, res.Selection)
-			printTrace("em3d hmpi", len(cluster.Machines))
-		}
-		if *mode == "mpi" || *mode == "both" {
-			res, err := em3d.RunMPI(newRT(), pr, opts)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("em3d mpi:  time %.6gs selection %v\n", float64(res.Time), res.Selection)
-			printTrace("em3d mpi", len(cluster.Machines))
-		}
-	case "matmul":
-		pr, err := matmul.Generate(matmul.Config{M: *m, R: *r, N: *n})
-		if err != nil {
-			fatal(err)
-		}
-		if *chaosSpec != "" {
-			if *l <= 0 {
-				fatal(errors.New("-chaos needs a fixed -l: the resilient driver does not search block sizes"))
-			}
-			rt := newRT()
-			armChaos(rt)
-			res, err := matmul.RunResilientHMPI(rt, pr, *l, matmul.RunOptions{})
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("matmul hmpi+chaos: time %.6gs work %.6gs recovery %.6gs attempts %d l=%d selection %v\n",
-				float64(res.Time), float64(res.WorkTime), float64(res.Recovery), res.Attempts, res.L, res.Selection)
-			reportDegraded(rt)
-			printTrace("matmul hmpi+chaos", len(cluster.Machines))
-			return
-		}
-		if *mode == "hmpi" || *mode == "both" {
-			ls := []int{*l}
-			if *l == 0 {
-				ls = candidateBlockSizes(*m, *n)
-			}
-			res, err := matmul.RunHMPI(newRT(), pr, ls, matmul.RunOptions{})
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("matmul hmpi: time %.6gs predicted %.6gs l=%d selection %v\n",
-				float64(res.Time), res.Predicted, res.L, res.Selection)
-			printTrace("matmul hmpi", len(cluster.Machines))
-		}
-		if *mode == "mpi" || *mode == "both" {
-			res, err := matmul.RunMPI(newRT(), pr, matmul.RunOptions{})
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("matmul mpi:  time %.6gs selection %v\n", float64(res.Time), res.Selection)
-			printTrace("matmul mpi", len(cluster.Machines))
-		}
-	case "jacobi":
-		if *chaosSpec != "" {
-			fatal(errors.New("-chaos supports em3d and matmul only"))
-		}
-		pr, err := jacobi.Generate(jacobi.Config{Rows: *gridRows, Cols: *gridRows, Iters: *iters, P: *subbodies})
-		if err != nil {
-			fatal(err)
-		}
-		if *mode == "hmpi" || *mode == "both" {
-			res, err := jacobi.RunHMPI(newRT(), pr, false)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("jacobi hmpi: time %.6gs predicted %.6gs heights %v selection %v\n",
-				float64(res.Time), res.Predicted, res.Heights, res.Selection)
-			printTrace("jacobi hmpi", len(cluster.Machines))
-		}
-		if *mode == "mpi" || *mode == "both" {
-			res, err := jacobi.RunMPI(newRT(), pr, false)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("jacobi mpi:  time %.6gs heights %v\n", float64(res.Time), res.Heights)
-			printTrace("jacobi mpi", len(cluster.Machines))
-		}
+		fmt.Printf(" selection %v\n", res.Selection)
 	default:
-		fmt.Fprintf(os.Stderr, "hmpirun: unknown app %q\n", *app)
-		os.Exit(2)
+		fmt.Printf("%s mpi:  time %.6gs", res.App, float64(res.Time))
+		if res.App == "jacobi" {
+			fmt.Printf(" heights %v", res.Heights)
+		} else {
+			fmt.Printf(" selection %v", res.Selection)
+		}
+		fmt.Println()
 	}
 }
 
-// candidateBlockSizes returns a geometric sweep of generalised block sizes
-// between m and n for the HMPI_Timeof search.
-func candidateBlockSizes(m, n int) []int {
-	var out []int
-	for l := m; l <= n; l *= 2 {
-		out = append(out, l)
+// saveObs writes the recorded structured trace and metrics snapshot after
+// a traced run completes.
+func saveObs(rec *trc.Recorder, traceFile, metricsFile string) {
+	if rec == nil {
+		return
 	}
-	if len(out) == 0 || out[len(out)-1] != n {
-		out = append(out, n)
+	d := rec.Data()
+	if traceFile != "" {
+		if err := d.WriteFile(traceFile); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: wrote %s (%d events, %d dropped)\n", traceFile, len(d.Events()), d.Meta.Dropped)
 	}
-	return out
-}
-
-// reportDegraded prints the machine pairs the degradation policy folded
-// into the cost model, if any.
-func reportDegraded(rt *hmpi.Runtime) {
-	if pairs := rt.DegradedPairs(); len(pairs) > 0 {
-		fmt.Printf("chaos: degraded machine pairs %v (cost model updated, group reselected)\n", pairs)
+	if metricsFile != "" {
+		reg := trc.NewRegistry()
+		reg.FillFromData(d)
+		f, err := os.Create(metricsFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := reg.Snapshot().WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: wrote metrics %s\n", metricsFile)
 	}
 }
 

@@ -3,6 +3,8 @@ package main
 import (
 	"reflect"
 	"testing"
+
+	"repro/internal/jobspec"
 )
 
 func TestCandidateBlockSizes(t *testing.T) {
@@ -16,9 +18,9 @@ func TestCandidateBlockSizes(t *testing.T) {
 		{3, 3, []int{3}},
 	}
 	for _, tc := range cases {
-		got := candidateBlockSizes(tc.m, tc.n)
+		got := jobspec.CandidateBlockSizes(tc.m, tc.n)
 		if !reflect.DeepEqual(got, tc.want) {
-			t.Errorf("candidateBlockSizes(%d,%d) = %v, want %v", tc.m, tc.n, got, tc.want)
+			t.Errorf("CandidateBlockSizes(%d,%d) = %v, want %v", tc.m, tc.n, got, tc.want)
 		}
 		// Every candidate is feasible: m <= l <= n.
 		for _, l := range got {

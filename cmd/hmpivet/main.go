@@ -44,6 +44,7 @@ import (
 	"repro/internal/analysis/reconpure"
 	"repro/internal/analysis/reqwait"
 	"repro/internal/analysis/retrycontract"
+	"repro/internal/analysis/runtimeclose"
 	"repro/internal/analysis/tagconst"
 	"repro/internal/analysis/tracescope"
 	"repro/internal/pmdl"
@@ -59,6 +60,7 @@ var all = []*analysis.Analyzer{
 	reconpure.Analyzer,
 	reqwait.Analyzer,
 	retrycontract.Analyzer,
+	runtimeclose.Analyzer,
 	tagconst.Analyzer,
 	tracescope.Analyzer,
 }

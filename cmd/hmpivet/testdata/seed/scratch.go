@@ -1,5 +1,5 @@
-// Seeded violations for the -json golden test: one groupfree leak and
-// one deadlock cycle.
+// Seeded violations for the -json golden test: one groupfree leak, one
+// deadlock cycle, and one runtimeclose leak.
 package scratch
 
 type Group struct{}
@@ -29,4 +29,12 @@ func cycle(c *Comm) {
 		_, _ = c.Recv(0, 4)
 		c.Send(0, 4, nil)
 	}
+}
+
+func runtimeLeak(cfg hmpi.Config) error {
+	rt, err := hmpi.New(cfg)
+	if err != nil {
+		return err
+	}
+	return rt.Run(nil)
 }

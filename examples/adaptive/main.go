@@ -54,6 +54,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rt.Finalize()
 
 	workload := []int{20, 300, 100} // one heavy worker among three
 

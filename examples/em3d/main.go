@@ -37,6 +37,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer rt.Finalize()
 		res, err := em3d.RunHMPI(rt, small, em3d.RunOptions{Iters: 3, RealMath: true, Overlap: overlap})
 		if err != nil {
 			log.Fatal(err)
@@ -63,6 +64,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rtH.Finalize()
 	hres, err := em3d.RunHMPI(rtH, pr, em3d.RunOptions{Iters: 10})
 	if err != nil {
 		log.Fatal(err)
@@ -71,6 +73,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rtM.Finalize()
 	mres, err := em3d.RunMPI(rtM, pr, em3d.RunOptions{Iters: 10})
 	if err != nil {
 		log.Fatal(err)
@@ -96,6 +99,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rtO.Finalize()
 	ores, err := em3d.RunHMPI(rtO, pr, em3d.RunOptions{Iters: 10, Overlap: true})
 	if err != nil {
 		log.Fatal(err)

@@ -52,6 +52,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rt1.Finalize()
 	err = rt1.Run(func(h *hmpi.Process) error {
 		switch h.Rank() {
 		case 0:
@@ -77,6 +78,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rt2.Finalize()
 	err = rt2.Run(func(h *hmpi.Process) error {
 		var g *hmpi.Group
 		var err error
@@ -144,6 +146,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rt3.Finalize()
 	// Kill rank 6 — the fastest machine, certain to be selected — the
 	// first time its virtual clock passes 1ms.
 	sched, err := chaos.Parse("6@0.001", rt3.World().Size())

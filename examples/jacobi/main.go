@@ -35,6 +35,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rt.Finalize()
 	res, err := jacobi.RunHMPI(rt, small, true)
 	if err != nil {
 		log.Fatal(err)
@@ -55,6 +56,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rtH.Finalize()
 	hres, err := jacobi.RunHMPI(rtH, pr, false)
 	if err != nil {
 		log.Fatal(err)
@@ -63,6 +65,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rtM.Finalize()
 	mres, err := jacobi.RunMPI(rtM, pr, false)
 	if err != nil {
 		log.Fatal(err)

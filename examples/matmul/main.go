@@ -38,6 +38,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer rt.Finalize()
 		res, err := matmul.RunHMPI(rt, small, []int{3, 9}, matmul.RunOptions{CollectC: true, Overlap: overlap})
 		if err != nil {
 			log.Fatal(err)
@@ -65,6 +66,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rtH.Finalize()
 	hres, err := matmul.RunHMPI(rtH, pr, candidates, matmul.RunOptions{})
 	if err != nil {
 		log.Fatal(err)
@@ -73,6 +75,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rtM.Finalize()
 	mres, err := matmul.RunMPI(rtM, pr, matmul.RunOptions{})
 	if err != nil {
 		log.Fatal(err)
@@ -99,6 +102,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rtO.Finalize()
 	ores, err := matmul.RunHMPI(rtO, pr, candidates, matmul.RunOptions{Overlap: true})
 	if err != nil {
 		log.Fatal(err)

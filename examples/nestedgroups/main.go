@@ -48,6 +48,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rt.Finalize()
 
 	err = rt.Run(func(h *hmpi.Process) error {
 		// Top group: three coordinators with light bookkeeping work.

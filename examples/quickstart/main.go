@@ -66,6 +66,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rt.Finalize()
 
 	const (
 		workers = 4
@@ -130,6 +131,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rt2.Finalize()
 	err = rt2.Run(func(h *hmpi.Process) error {
 		if !h.IsHost() {
 			return nil

@@ -1,0 +1,13 @@
+package runtimeclose_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/runtimeclose"
+)
+
+func TestRuntimeClose(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), runtimeclose.Analyzer)
+}

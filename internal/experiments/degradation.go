@@ -36,6 +36,7 @@ func TableDegradation() (*Figure, error) {
 		if err != nil {
 			return em3d.FTResult{}, err
 		}
+		defer rt.Finalize()
 		if sched != nil {
 			if err := sched.Attach(rt.World(), nil); err != nil {
 				return em3d.FTResult{}, err
@@ -53,6 +54,7 @@ func TableDegradation() (*Figure, error) {
 		if err != nil {
 			return matmul.FTResult{}, err
 		}
+		defer rt.Finalize()
 		if sched != nil {
 			if err := sched.Attach(rt.World(), nil); err != nil {
 				return matmul.FTResult{}, err

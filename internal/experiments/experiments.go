@@ -88,6 +88,7 @@ func em3dPoint(nodes int) (hmpiTime, mpiTime float64, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
+	defer rtH.Finalize()
 	hres, err := em3d.RunHMPI(rtH, pr, em3d.RunOptions{Iters: em3dIters})
 	if err != nil {
 		return 0, 0, err
@@ -96,6 +97,7 @@ func em3dPoint(nodes int) (hmpiTime, mpiTime float64, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
+	defer rtM.Finalize()
 	mres, err := em3d.RunMPI(rtM, pr, em3d.RunOptions{Iters: em3dIters})
 	if err != nil {
 		return 0, 0, err
@@ -164,6 +166,7 @@ func mmPoint(r, n int, lCandidates []int) (matmul.Result, matmul.Result, error) 
 	if err != nil {
 		return matmul.Result{}, matmul.Result{}, err
 	}
+	defer rtH.Finalize()
 	hres, err := matmul.RunHMPI(rtH, pr, lCandidates, matmul.RunOptions{})
 	if err != nil {
 		return matmul.Result{}, matmul.Result{}, err
@@ -172,6 +175,7 @@ func mmPoint(r, n int, lCandidates []int) (matmul.Result, matmul.Result, error) 
 	if err != nil {
 		return matmul.Result{}, matmul.Result{}, err
 	}
+	defer rtM.Finalize()
 	mres, err := matmul.RunMPI(rtM, pr, matmul.RunOptions{})
 	if err != nil {
 		return matmul.Result{}, matmul.Result{}, err
@@ -328,6 +332,7 @@ func TableTimeof() (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer rt.Finalize()
 		res, err := em3d.RunHMPI(rt, pr, em3d.RunOptions{Iters: em3dIters})
 		if err != nil {
 			return nil, err
@@ -346,6 +351,7 @@ func TableTimeof() (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer rt.Finalize()
 		res, err := matmul.RunHMPI(rt, pr, []int{9}, matmul.RunOptions{})
 		if err != nil {
 			return nil, err

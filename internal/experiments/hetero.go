@@ -36,6 +36,7 @@ func TableHeterogeneity() (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer rtH.Finalize()
 		hres, err := em3d.RunHMPI(rtH, pr, em3d.RunOptions{Iters: em3dIters})
 		if err != nil {
 			return nil, err
@@ -44,6 +45,7 @@ func TableHeterogeneity() (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer rtM.Finalize()
 		mres, err := em3d.RunMPI(rtM, pr, em3d.RunOptions{Iters: em3dIters})
 		if err != nil {
 			return nil, err

@@ -29,6 +29,7 @@ func TableJacobi() (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer rtH.Finalize()
 		hres, err := jacobi.RunHMPI(rtH, pr, false)
 		if err != nil {
 			return nil, err
@@ -37,6 +38,7 @@ func TableJacobi() (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer rtM.Finalize()
 		mres, err := jacobi.RunMPI(rtM, pr, false)
 		if err != nil {
 			return nil, err

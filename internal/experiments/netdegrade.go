@@ -41,6 +41,7 @@ func TableNetDegrade() (*Figure, error) {
 		if err != nil {
 			return em3d.FTResult{}, 0, err
 		}
+		defer rt.Finalize()
 		if spec != "" {
 			sched, err := chaos.Parse(spec, rt.World().Size())
 			if err != nil {

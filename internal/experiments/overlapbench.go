@@ -56,6 +56,7 @@ func em3dOverlapTimes(cfg em3d.Config, iters int) (float64, float64, error) {
 		if err != nil {
 			return 0, 0, err
 		}
+		defer rt.Finalize()
 		res, err := em3d.RunHMPI(rt, pr, em3d.RunOptions{Iters: iters, Overlap: overlap})
 		if err != nil {
 			return 0, 0, err
@@ -78,6 +79,7 @@ func matmulOverlapTimes(cfg matmul.Config, lCandidates []int) (float64, float64,
 		if err != nil {
 			return 0, 0, err
 		}
+		defer rt.Finalize()
 		res, err := matmul.RunHMPI(rt, pr, lCandidates, matmul.RunOptions{Overlap: overlap})
 		if err != nil {
 			return 0, 0, err

@@ -55,6 +55,7 @@ func traceBenchWorkload(traced bool) (float64, time.Duration, *trace.Recorder, e
 	if err != nil {
 		return 0, 0, nil, err
 	}
+	defer rt.Finalize()
 	var rec *trace.Recorder
 	if traced {
 		rec = rt.EnableRecorder("em3d", trace.Options{})

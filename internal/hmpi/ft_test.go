@@ -370,7 +370,7 @@ func TestTimeofExcludesFailedMachines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !c.IsMachineFailed(3) {
+	if !rt.Cluster().IsMachineFailed(3) {
 		t.Fatal("machine of failed rank not marked failed")
 	}
 }

@@ -27,6 +27,7 @@ package hmpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/hnoc"
 	"repro/internal/mapper"
@@ -55,7 +56,11 @@ const (
 
 // Config describes an HMPI run.
 type Config struct {
-	// Cluster is the heterogeneous network of computers to run on.
+	// Cluster is the heterogeneous network of computers to run on. New
+	// deep-copies it: the runtime's view of the network (including
+	// failure and degradation state accumulated during the run) is
+	// private, so any number of runtimes may be created from one cluster
+	// value and run concurrently.
 	Cluster *hnoc.Cluster
 	// Placement maps world ranks to machine indexes. Nil means one
 	// process per machine, the configuration the paper assumes.
@@ -63,6 +68,14 @@ type Config struct {
 	// Select tunes the group-selection search (default: auto strategy —
 	// exhaustive for small problems, greedy plus local search beyond).
 	Select mapper.Options
+	// Selection, when non-nil, is a caller-owned cross-job selection
+	// cache: every group-selection and Timeof search memoises candidate
+	// evaluations into it under a namespace derived from the runtime's
+	// cost model (estimator.AppendNamespace), so repeated or symmetric
+	// selection problems across runtime lifecycles skip re-evaluation.
+	// Results are bit-identical with or without it. Shared safely by
+	// concurrent runtimes; hmpid owns one per daemon.
+	Selection *mapper.SelectionCache
 }
 
 // Runtime is an initialised HMPI runtime system: the analogue of the state
@@ -86,9 +99,16 @@ type Runtime struct {
 	// process sees the same (possibly nil) policy — the resilient
 	// protocol relies on that uniformity.
 	degrade *degradeState
+
+	// finalized flips once in Finalize; Run refuses afterwards.
+	finalized atomic.Bool
 }
 
-// New validates the configuration and creates the runtime.
+// New validates the configuration and creates the runtime. The runtime is
+// self-contained: it works on a private copy of the cluster and shares no
+// mutable state with other runtimes (beyond an explicitly provided
+// Config.Selection cache, which is concurrency-safe), so runtimes can be
+// created, run, and finalized concurrently — one per job in a service.
 func New(cfg Config) (*Runtime, error) {
 	if cfg.Cluster == nil {
 		return nil, fmt.Errorf("hmpi: nil cluster")
@@ -96,6 +116,9 @@ func New(cfg Config) (*Runtime, error) {
 	if err := cfg.Cluster.Validate(); err != nil {
 		return nil, err
 	}
+	// Private copy: OnFail and EnableDegradation mutate the cluster's
+	// failure/degradation view, which must never leak across runtimes.
+	cfg.Cluster = cfg.Cluster.Clone()
 	placement := cfg.Placement
 	if placement == nil {
 		placement = mpi.OneProcessPerMachine(cfg.Cluster)
@@ -122,6 +145,24 @@ func New(cfg Config) (*Runtime, error) {
 // World exposes the underlying message-passing world.
 func (rt *Runtime) World() *mpi.World { return rt.world }
 
+// Cluster returns the runtime's private view of the network — the clone
+// New made, carrying any failure or degradation state accumulated since.
+func (rt *Runtime) Cluster() *hnoc.Cluster { return rt.cfg.Cluster }
+
+// Finalize releases the runtime, the analogue of HMPI_Finalize. It is
+// idempotent and safe to defer next to New; after it returns, Run
+// refuses to execute. Accessors (Makespan, World, Cluster) stay readable
+// so results can be collected after the runtime is closed. Every
+// constructed Runtime must reach Finalize (per-job lifecycle discipline
+// for long-running services; the hmpivet runtimeclose analyzer enforces
+// it).
+func (rt *Runtime) Finalize() {
+	rt.finalized.Store(true)
+}
+
+// Finalized reports whether Finalize has been called.
+func (rt *Runtime) Finalized() bool { return rt.finalized.Load() }
+
 // EnableTracing records per-process activity intervals for the run; call
 // before Run. See mpi.Trace.
 func (rt *Runtime) EnableTracing() *mpi.Trace { return rt.world.EnableTracing() }
@@ -140,6 +181,9 @@ func (rt *Runtime) InjectFailure(rank int) {
 // Run executes main as the body of every HMPI process, the SPMD region
 // between HMPI_Init and HMPI_Finalize. It returns the first process error.
 func (rt *Runtime) Run(main func(h *Process) error) error {
+	if rt.finalized.Load() {
+		return fmt.Errorf("hmpi: Run on a finalized runtime")
+	}
 	return rt.world.Run(func(p *mpi.Proc) error {
 		h := &Process{rt: rt, proc: p}
 		// Initial speed estimates: the nominal speeds of the machines

@@ -124,22 +124,78 @@ func (h *Process) solveSelectionOpts(model *pmdl.Model, args []any, parentRank i
 	if !contains(avail, parentRank) {
 		avail = append([]int{parentRank}, avail...)
 	}
+	asg, err := solveWithEstimator(est, inst, h.speeds, avail, parentRank, opts, h.rt.cfg.Selection)
+	if err != nil {
+		return nil, mapper.Assignment{}, err
+	}
+	return inst, asg, nil
+}
+
+// solveWithEstimator builds and solves the selection problem for one
+// instantiated model. When a cross-job selection cache is provided (and
+// the caller did not wire its own via opts.Shared), the search memoises
+// into it under the estimator's cost-model namespace — the qualification
+// that keeps jobs on different clusters, task graphs, or degradation
+// states from ever aliasing each other's entries.
+func solveWithEstimator(est *estimator.Estimator, inst *pmdl.Instance, speeds []float64, avail []int, parentRank int, opts mapper.Options, shared *mapper.SelectionCache) (mapper.Assignment, error) {
+	if shared != nil && opts.Shared == nil {
+		opts.Shared = shared
+		opts.Namespace = est.AppendNamespace(nil)
+		// Timeof is fully determined by the memo key (cost model,
+		// placement, speeds) plus the problem fields, so whole solves are
+		// safe to reuse across jobs — the daemon's warm path skips the
+		// search outright.
+		opts.MemoKey = est.AppendMemoKey(nil)
+	}
 	pr := mapper.Problem{
 		P:            inst.NumProcs,
 		Avail:        avail,
 		Fixed:        map[int]int{inst.Parent: parentRank},
 		Weights:      inst.CompVolume,
-		SpeedOf:      func(r int) float64 { return h.speeds[r] },
+		SpeedOf:      func(r int) float64 { return speeds[r] },
 		Objective:    est.Session().Timeof,
 		NewObjective: func() mapper.Objective { return est.Session().Timeof },
 		LowerBound:   est.LowerBound,
 		CanonicalKey: est.AppendCanonicalKey,
 	}
-	asg, err := mapper.Solve(pr, opts)
-	if err != nil {
-		return nil, mapper.Assignment{}, err
+	return mapper.Solve(pr, opts)
+}
+
+// PredictTimeof prices a prospective job without constructing a world or
+// running any process: it solves the same selection problem HMPI_Timeof
+// would solve inside a run, using the machines' nominal speeds (what a
+// runtime knows before the first HMPI_Recon). hmpid's admission control
+// uses it to estimate a submitted job's makespan at accept/reject time.
+func PredictTimeof(cfg Config, model *pmdl.Model, args ...any) (float64, mapper.SearchStats, error) {
+	if cfg.Cluster == nil {
+		return 0, mapper.SearchStats{}, fmt.Errorf("hmpi: nil cluster")
 	}
-	return inst, asg, nil
+	if err := cfg.Cluster.Validate(); err != nil {
+		return 0, mapper.SearchStats{}, err
+	}
+	placement := cfg.Placement
+	if placement == nil {
+		placement = mpi.OneProcessPerMachine(cfg.Cluster)
+	}
+	inst, err := model.Instantiate(args...)
+	if err != nil {
+		return 0, mapper.SearchStats{}, err
+	}
+	speeds := make([]float64, len(placement))
+	avail := make([]int, len(placement))
+	for r := range placement {
+		speeds[r] = cfg.Cluster.Machines[placement[r]].Speed
+		avail[r] = r
+	}
+	est, err := estimator.New(inst, cfg.Cluster, speeds, placement)
+	if err != nil {
+		return 0, mapper.SearchStats{}, err
+	}
+	asg, err := solveWithEstimator(est, inst, speeds, avail, HostRank, cfg.Select, cfg.Selection)
+	if err != nil {
+		return 0, mapper.SearchStats{}, err
+	}
+	return asg.Time, asg.Stats, nil
 }
 
 // Timeof implements HMPI_Timeof: it predicts the execution time of the

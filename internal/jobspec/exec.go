@@ -1,0 +1,169 @@
+package jobspec
+
+import (
+	"fmt"
+
+	"repro/internal/apps/em3d"
+	"repro/internal/apps/jacobi"
+	"repro/internal/apps/matmul"
+	"repro/internal/chaos"
+	"repro/internal/hmpi"
+	"repro/internal/mapper"
+	"repro/internal/vclock"
+)
+
+// ExecOptions carries the per-execution environment a front end wires
+// around a job: observation hooks and the shared selection cache.
+type ExecOptions struct {
+	// Selection, when non-nil, is the cross-job selection cache every
+	// runtime of this execution memoises into (hmpi.Config.Selection).
+	Selection *mapper.SelectionCache
+	// OnRuntime, when non-nil, is called with the freshly constructed
+	// runtime before the job runs — the hook for tracing, recorders, or
+	// test instrumentation. It must not call Run.
+	OnRuntime func(*hmpi.Runtime)
+	// OnChaosKill, when non-nil, observes each chaos kill as it fires.
+	OnChaosKill func(chaos.Event)
+}
+
+// Result is the outcome of one executed job.
+type Result struct {
+	App  string `json:"app"`
+	Mode string `json:"mode"`
+	// Makespan is the full simulated wall-clock of the run (Recon,
+	// selection, algorithm, recovery), the figure the daemon's
+	// bit-identity guarantee is stated over.
+	Makespan vclock.Time `json:"makespan"`
+	// Time is the algorithm proper, as each app's Result reports it.
+	Time vclock.Time `json:"time"`
+	// Predicted is HMPI_Timeof's prediction (HMPI runs only).
+	Predicted float64 `json:"predicted,omitempty"`
+	// Selection is the world ranks the group selection chose.
+	Selection []int `json:"selection,omitempty"`
+	// L is matmul's generalised block size; Heights jacobi's strips.
+	L       int   `json:"l,omitempty"`
+	Heights []int `json:"heights,omitempty"`
+	// Chaos-run extras: recovery attempts, split of work vs recovery
+	// time, and machine pairs degraded into the cost model.
+	Attempts int         `json:"attempts,omitempty"`
+	WorkTime vclock.Time `json:"work_time,omitempty"`
+	Recovery vclock.Time `json:"recovery,omitempty"`
+	Degraded [][2]int    `json:"degraded,omitempty"`
+}
+
+// Execute runs one job to completion on a fresh per-job runtime and
+// returns its result. It is safe to call from many goroutines at once:
+// each call owns its runtime, and every runtime works on a private clone
+// of the spec's cluster.
+func Execute(s Spec, opts ExecOptions) (*Result, error) {
+	if err := s.Normalize(); err != nil {
+		return nil, err
+	}
+	rt, err := hmpi.New(hmpi.Config{Cluster: s.ClusterOrDefault(), Selection: opts.Selection})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Finalize()
+	if opts.OnRuntime != nil {
+		opts.OnRuntime(rt)
+	}
+	if s.Chaos != "" {
+		sched, err := chaos.Parse(s.Chaos, rt.World().Size())
+		if err != nil {
+			return nil, err
+		}
+		if err := sched.Arm(rt.World(), s.ChaosSeed, func(e chaos.Event) {
+			if opts.OnChaosKill != nil {
+				opts.OnChaosKill(e)
+			}
+		}); err != nil {
+			return nil, err
+		}
+		if s.Degrade {
+			rt.EnableDegradation(hmpi.DefaultDegradationPolicy())
+		}
+	}
+	res := &Result{App: s.App, Mode: s.Mode}
+	switch s.App {
+	case "em3d":
+		pr, err := em3d.Generate(em3d.Config{P: s.P, TotalNodes: s.Nodes, Light: true})
+		if err != nil {
+			return nil, err
+		}
+		ro := em3d.RunOptions{Iters: s.Iters}
+		switch {
+		case s.Chaos != "":
+			r, err := em3d.RunResilientHMPI(rt, pr, ro)
+			if err != nil {
+				return nil, err
+			}
+			res.Time, res.WorkTime, res.Recovery = r.Time, r.WorkTime, r.Recovery
+			res.Attempts, res.Selection = r.Attempts, r.Selection
+		case s.Mode == ModeHMPI:
+			r, err := em3d.RunHMPI(rt, pr, ro)
+			if err != nil {
+				return nil, err
+			}
+			res.Time, res.Predicted, res.Selection = r.Time, r.Predicted, r.Selection
+		default:
+			r, err := em3d.RunMPI(rt, pr, ro)
+			if err != nil {
+				return nil, err
+			}
+			res.Time, res.Selection = r.Time, r.Selection
+		}
+	case "matmul":
+		pr, err := matmul.Generate(matmul.Config{M: s.M, R: s.R, N: s.N})
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case s.Chaos != "":
+			r, err := matmul.RunResilientHMPI(rt, pr, s.L, matmul.RunOptions{})
+			if err != nil {
+				return nil, err
+			}
+			res.Time, res.WorkTime, res.Recovery = r.Time, r.WorkTime, r.Recovery
+			res.Attempts, res.L, res.Selection = r.Attempts, r.L, r.Selection
+		case s.Mode == ModeHMPI:
+			ls := []int{s.L}
+			if s.L <= 0 {
+				ls = CandidateBlockSizes(pr.M, pr.N)
+			}
+			r, err := matmul.RunHMPI(rt, pr, ls, matmul.RunOptions{})
+			if err != nil {
+				return nil, err
+			}
+			res.Time, res.Predicted, res.L, res.Selection = r.Time, r.Predicted, r.L, r.Selection
+		default:
+			r, err := matmul.RunMPI(rt, pr, matmul.RunOptions{})
+			if err != nil {
+				return nil, err
+			}
+			res.Time, res.Selection = r.Time, r.Selection
+		}
+	case "jacobi":
+		pr, err := jacobi.Generate(jacobi.Config{Rows: s.Grid, Cols: s.Grid, Iters: s.Iters, P: s.P})
+		if err != nil {
+			return nil, err
+		}
+		if s.Mode == ModeHMPI {
+			r, err := jacobi.RunHMPI(rt, pr, false)
+			if err != nil {
+				return nil, err
+			}
+			res.Time, res.Predicted, res.Heights, res.Selection = r.Time, r.Predicted, r.Heights, r.Selection
+		} else {
+			r, err := jacobi.RunMPI(rt, pr, false)
+			if err != nil {
+				return nil, err
+			}
+			res.Time, res.Heights = r.Time, r.Heights
+		}
+	default:
+		return nil, fmt.Errorf("jobspec: unknown app %q", s.App)
+	}
+	res.Makespan = rt.Makespan()
+	res.Degraded = rt.DegradedPairs()
+	return res, nil
+}

@@ -1,0 +1,79 @@
+package jobspec
+
+import (
+	"flag"
+
+	"repro/internal/hnoc"
+)
+
+// Flags holds the registered job flags of one FlagSet. Both binaries
+// build their job specs through it, so the flag names, defaults, and help
+// text for apps, topology, and chaos are defined exactly once.
+type Flags struct {
+	app, mode, clusterPath *string
+	nodes, p, iters        *int
+	n, r, l, m             *int
+	grid                   *int
+	chaosSpec              *string
+	chaosSeed              *int64
+	degrade                *bool
+	tenant                 *string
+}
+
+// RegisterFlags installs the shared job flags on fs. defaultMode lets the
+// front ends differ where they genuinely do: hmpirun defaults to "both"
+// (HMPI vs MPI comparison), hmpid's submit mode to "hmpi".
+func RegisterFlags(fs *flag.FlagSet, defaultMode string) *Flags {
+	d := Default()
+	f := &Flags{}
+	f.app = fs.String("app", d.App, "application: em3d, matmul or jacobi")
+	f.mode = fs.String("mode", defaultMode, "hmpi, mpi or both")
+	f.clusterPath = fs.String("cluster", "", "cluster JSON file (default: the paper's 9-machine network)")
+	f.nodes = fs.Int("nodes", d.Nodes, "em3d: total nodes")
+	f.p = fs.Int("p", d.P, "em3d: number of subbodies (jacobi: strips)")
+	f.iters = fs.Int("iters", d.Iters, "em3d/jacobi: iterations")
+	f.n = fs.Int("n", d.N, "matmul: matrix size in r x r blocks")
+	f.r = fs.Int("r", d.R, "matmul: block size in elements")
+	f.l = fs.Int("l", d.L, "matmul: generalised block size (0 = search)")
+	f.m = fs.Int("m", d.M, "matmul: processor grid dimension")
+	f.grid = fs.Int("grid", d.Grid, "jacobi: grid dimension (rows = cols)")
+	f.chaosSpec = fs.String("chaos", "",
+		`fault schedule, e.g. "2@0.5;4@1.2", "link:2-5@0.3:drop=0.2" or "part:{0,1}|{2..8}@0.5+0.2"; runs the app under the self-healing harness`)
+	f.chaosSeed = fs.Int64("chaos-seed", d.ChaosSeed, "seed for the probabilistic link-fault draws (reproducible per seed)")
+	f.degrade = fs.Bool("degrade", false, "fold chronically lossy links into the cost model and reselect the group around them (needs -chaos link faults)")
+	f.tenant = fs.String("tenant", "", "tenant name for service accounting (hmpid only)")
+	return f
+}
+
+// Mode returns the parsed -mode value, which may be "both"; the caller
+// splits it into per-mode Specs (Spec carries exactly one mode).
+func (f *Flags) Mode() string { return *f.mode }
+
+// Spec builds the job spec the parsed flags describe, loading the cluster
+// file if one was named. The returned spec has Mode left to the parsed
+// value when it names one run, and ModeHMPI when the flag said "both" —
+// use Mode() to detect the two-run case.
+func (f *Flags) Spec() (Spec, error) {
+	s := Default()
+	s.App = *f.app
+	s.Mode = *f.mode
+	if s.Mode == ModeBoth {
+		s.Mode = ModeHMPI
+	}
+	s.Nodes, s.P, s.Iters = *f.nodes, *f.p, *f.iters
+	s.N, s.R, s.L, s.M = *f.n, *f.r, *f.l, *f.m
+	s.Grid = *f.grid
+	s.Chaos, s.ChaosSeed, s.Degrade = *f.chaosSpec, *f.chaosSeed, *f.degrade
+	s.Tenant = *f.tenant
+	if *f.clusterPath != "" {
+		c, err := hnoc.LoadFile(*f.clusterPath)
+		if err != nil {
+			return Spec{}, err
+		}
+		s.Cluster = c
+	}
+	if err := s.Normalize(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}

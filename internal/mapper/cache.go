@@ -1,0 +1,329 @@
+// SelectionCache: the cross-search promotion of the symmetry memo cache.
+//
+// The per-call symCache (engine.go) lives for one Solve call: every
+// GroupCreate or Timeof rebuilds it from nothing, so two jobs solving the
+// same selection problem redo each other's work. A SelectionCache is the
+// daemon-lifetime version — a size-bounded, concurrency-safe store an
+// hmpid server (or any long-lived caller) owns and threads through
+// Options.Shared, so the canonical-key memoisation survives across jobs.
+//
+// Correctness has two legs:
+//
+//   - Within one namespace, equal keys guarantee bit-identical objective
+//     values (the CanonicalKey contract), so a hit returns exactly what
+//     the evaluation would have — search results never depend on the
+//     cache's content, only its speed. Eviction is therefore always safe.
+//   - Across problems, equal canonical keys guarantee nothing: the key
+//     encodes the candidate's shape (machine classes, co-location,
+//     speeds), not the cluster's link costs or the model's task graph.
+//     Two jobs on different clusters can produce byte-identical keys with
+//     different objective values. Every entry is therefore stored under a
+//     namespace prefix identifying the full cost model (see
+//     estimator.AppendNamespace); Solve refuses a Shared cache without
+//     one.
+package mapper
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheShards is the number of independently locked segments. Sharding
+// keeps the search workers' leaf lookups from serialising on one mutex;
+// 16 matches the per-call symCache.
+const cacheShards = 16
+
+// DefaultSelectionCacheEntries bounds a NewSelectionCache(0) cache.
+const DefaultSelectionCacheEntries = 1 << 16
+
+// SelectionCache is a size-bounded, namespace-qualified memo of objective
+// values by canonical candidate key, safe for concurrent use by any
+// number of searches. The zero value is not usable; create one with
+// NewSelectionCache.
+//
+// It carries a second, coarser layer: a whole-solve memo of final
+// assignments keyed by a digest of the problem, the options, and the
+// caller's Options.MemoKey. The value layer makes a repeated search skip
+// its objective evaluations; the solve layer makes it skip the search
+// walk itself — the difference between a warm job being somewhat faster
+// and paying nothing for selection at all.
+type SelectionCache struct {
+	shards [cacheShards]lruShard
+	solve  solveStore
+}
+
+// lruShard is one locked segment: a map into an intrusive LRU list.
+type lruShard struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[string]*list.Element
+	ll    *list.List // front = most recently used
+	hits  int64
+	miss  int64
+	puts  int64
+	evict int64
+}
+
+type lruEntry struct {
+	key string
+	val float64
+}
+
+// NewSelectionCache creates a cache bounded to at most `entries` keys
+// (rounded up to a multiple of the shard count; entries <= 0 means
+// DefaultSelectionCacheEntries). Each entry costs roughly its key length
+// plus ~100 bytes of bookkeeping.
+func NewSelectionCache(entries int) *SelectionCache {
+	if entries <= 0 {
+		entries = DefaultSelectionCacheEntries
+	}
+	per := (entries + cacheShards - 1) / cacheShards
+	c := new(SelectionCache)
+	for i := range c.shards {
+		c.shards[i].cap = per
+		c.shards[i].m = make(map[string]*list.Element)
+		c.shards[i].ll = list.New()
+	}
+	// Solve entries are one per distinct selection problem (not per
+	// candidate), so a shard's worth of capacity goes a long way.
+	c.solve.cap = per
+	c.solve.m = make(map[string]*list.Element)
+	c.solve.ll = list.New()
+	return c
+}
+
+// solveStore is the whole-solve memo: one locked LRU of final
+// assignments. Looked up once per Solve call, so a single mutex is not a
+// contention point the way the per-candidate shards would be.
+type solveStore struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[string]*list.Element
+	ll    *list.List // front = most recently used
+	hits  int64
+	miss  int64
+	puts  int64
+	evict int64
+}
+
+type solveResult struct {
+	key   string
+	ranks []int
+	time  float64
+}
+
+// getSolve looks a solve digest up, returning a self-contained
+// Assignment (the ranks are copied; callers may mutate them) whose Stats
+// mark it as memoised.
+func (c *SelectionCache) getSolve(key []byte) (Assignment, bool) {
+	s := &c.solve
+	s.mu.Lock()
+	el, ok := s.m[string(key)]
+	if !ok {
+		s.miss++
+		s.mu.Unlock()
+		return Assignment{}, false
+	}
+	s.hits++
+	s.ll.MoveToFront(el)
+	res := el.Value.(*solveResult)
+	a := Assignment{
+		Ranks: append([]int(nil), res.ranks...),
+		Time:  res.time,
+		Stats: SearchStats{Memoized: true},
+	}
+	s.mu.Unlock()
+	return a, true
+}
+
+// putSolve stores a finished solve under its digest (first value wins;
+// equal digests produce identical assignments by the MemoKey contract).
+func (c *SelectionCache) putSolve(key []byte, a Assignment) {
+	s := &c.solve
+	s.mu.Lock()
+	if el, ok := s.m[string(key)]; ok {
+		s.ll.MoveToFront(el)
+		s.mu.Unlock()
+		return
+	}
+	s.puts++
+	el := s.ll.PushFront(&solveResult{
+		key:   string(key),
+		ranks: append([]int(nil), a.Ranks...),
+		time:  a.Time,
+	})
+	s.m[el.Value.(*solveResult).key] = el
+	if s.ll.Len() > s.cap {
+		old := s.ll.Back()
+		s.ll.Remove(old)
+		delete(s.m, old.Value.(*solveResult).key)
+		s.evict++
+	}
+	s.mu.Unlock()
+}
+
+// shardFor hashes a key (FNV-1a, same as the per-call cache) to a shard.
+func (c *SelectionCache) shardFor(key []byte) *lruShard {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return &c.shards[h&(cacheShards-1)]
+}
+
+// get looks a key up, promoting it to most-recently-used on a hit.
+func (c *SelectionCache) get(key []byte) (float64, bool) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	el, ok := sh.m[string(key)]
+	if !ok {
+		sh.miss++
+		sh.mu.Unlock()
+		return 0, false
+	}
+	sh.hits++
+	sh.ll.MoveToFront(el)
+	v := el.Value.(*lruEntry).val
+	sh.mu.Unlock()
+	return v, true
+}
+
+// put inserts a key, evicting the shard's least-recently-used entry when
+// full. Re-inserting an existing key keeps the first value (values for
+// equal keys are bit-identical by contract, so which one wins is moot).
+func (c *SelectionCache) put(key []byte, val float64) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if el, ok := sh.m[string(key)]; ok {
+		sh.ll.MoveToFront(el)
+		sh.mu.Unlock()
+		return
+	}
+	sh.puts++
+	el := sh.ll.PushFront(&lruEntry{key: string(key), val: val})
+	sh.m[el.Value.(*lruEntry).key] = el
+	if sh.ll.Len() > sh.cap {
+		old := sh.ll.Back()
+		sh.ll.Remove(old)
+		delete(sh.m, old.Value.(*lruEntry).key)
+		sh.evict++
+	}
+	sh.mu.Unlock()
+}
+
+// sharedObjective returns pr with its objectives routed through the
+// shared cache: each evaluation first looks its canonical key up under
+// the namespace, and misses store the computed value. This is how the
+// heuristic strategies (greedy, local search, random sampling, the
+// portfolio) reuse the cache — the exhaustive engine instead wires the
+// cache into its leaf loop, where it can also keep exact leaf accounting.
+// Values for equal keys are bit-identical by the CanonicalKey contract,
+// so wrapped and unwrapped searches return identical results.
+// keyBufPool recycles key buffers for sharedObjective. The wrapper must
+// not carry per-closure scratch: the portfolio hands one Objective to
+// several concurrent sub-searches, so a wrapped objective has to stay as
+// concurrency-safe as the stateless objective it wraps.
+var keyBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func sharedObjective(pr Problem, shared *SelectionCache, ns []byte) Problem {
+	wrap := func(obj Objective) Objective {
+		return func(cand []int) float64 {
+			bp := keyBufPool.Get().(*[]byte)
+			buf := append((*bp)[:0], ns...)
+			buf = pr.CanonicalKey(buf, cand)
+			v, ok := shared.get(buf)
+			if !ok {
+				v = obj(cand)
+				shared.put(buf, v)
+			}
+			*bp = buf
+			keyBufPool.Put(bp)
+			return v
+		}
+	}
+	inner := pr.NewObjective
+	pr.Objective = wrap(pr.Objective)
+	if inner != nil {
+		pr.NewObjective = func() Objective { return wrap(inner()) }
+	}
+	return pr
+}
+
+// CacheStats is a point-in-time snapshot of a SelectionCache's counters.
+type CacheStats struct {
+	// Hits and Misses count lookups by outcome, across every search that
+	// used the cache since creation (or the last Reset).
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Puts counts insertions; Evictions counts entries dropped to respect
+	// the size bound. Entries is the current population.
+	Puts      int64 `json:"puts"`
+	Evictions int64 `json:"evictions"`
+	Entries   int64 `json:"entries"`
+	// SolveHits, SolveMisses and SolveEntries are the whole-solve memo's
+	// counters: a SolveHit is an entire selection search skipped.
+	SolveHits    int64 `json:"solve_hits"`
+	SolveMisses  int64 `json:"solve_misses"`
+	SolveEntries int64 `json:"solve_entries"`
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup — the
+// value layer's rate, dominated by within-search symmetry reuse.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// SolveHitRate returns the whole-solve memo's rate: the fraction of
+// selection searches skipped outright. This is the figure that says how
+// often repeated job specs were served from the warm cache.
+func (s CacheStats) SolveHitRate() float64 {
+	if s.SolveHits+s.SolveMisses == 0 {
+		return 0
+	}
+	return float64(s.SolveHits) / float64(s.SolveHits+s.SolveMisses)
+}
+
+// Stats sums the per-shard counters. The snapshot is not atomic across
+// shards (concurrent searches may land between shard reads), which is
+// fine for the monitoring it serves.
+func (c *SelectionCache) Stats() CacheStats {
+	var out CacheStats
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		out.Hits += sh.hits
+		out.Misses += sh.miss
+		out.Puts += sh.puts
+		out.Evictions += sh.evict
+		out.Entries += int64(sh.ll.Len())
+		sh.mu.Unlock()
+	}
+	c.solve.mu.Lock()
+	out.SolveHits = c.solve.hits
+	out.SolveMisses = c.solve.miss
+	out.SolveEntries = int64(c.solve.ll.Len())
+	c.solve.mu.Unlock()
+	return out
+}
+
+// Reset drops every entry and zeroes the counters, keeping the capacity.
+func (c *SelectionCache) Reset() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.m = make(map[string]*list.Element)
+		sh.ll = list.New()
+		sh.hits, sh.miss, sh.puts, sh.evict = 0, 0, 0, 0
+		sh.mu.Unlock()
+	}
+	s := &c.solve
+	s.mu.Lock()
+	s.m = make(map[string]*list.Element)
+	s.ll = list.New()
+	s.hits, s.miss, s.puts, s.evict = 0, 0, 0, 0
+	s.mu.Unlock()
+}

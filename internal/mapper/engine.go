@@ -40,6 +40,10 @@ type SearchStats struct {
 	Workers int
 	// WallTime is the elapsed time of the search.
 	WallTime time.Duration
+	// Memoized marks an assignment served from the shared cache's
+	// whole-solve memo (Options.MemoKey): no search ran at all, and the
+	// other counters are zero.
+	Memoized bool
 }
 
 // sharedBound is an atomically-updated minimum over the times found so
@@ -131,7 +135,12 @@ type exhaustiveEngine struct {
 	prune bool
 	bound *sharedBound
 	cache *symCache
-	stop  *atomic.Bool // optional cooperative cancel (Portfolio's Budget)
+	// shared, when non-nil, replaces the per-call symCache with the
+	// caller-owned cross-search store; ns is the namespace prefix every
+	// key carries there (see SelectionCache).
+	shared *SelectionCache
+	ns     []byte
+	stop   *atomic.Bool // optional cooperative cancel (Portfolio's Budget)
 
 	evals, hits, pruned atomic.Int64
 }
@@ -158,8 +167,16 @@ func newEngine(pr Problem, opts Options, bound *sharedBound, stop *atomic.Bool) 
 		}
 	}
 	e.prune = opts.Prune && pr.LowerBound != nil
-	if opts.Cache && pr.CanonicalKey != nil {
-		e.cache = newSymCache()
+	if pr.CanonicalKey != nil {
+		switch {
+		case opts.Shared != nil:
+			// The cross-search cache subsumes the per-call memo: one
+			// lookup path, hits counted identically.
+			e.shared = opts.Shared
+			e.ns = opts.Namespace
+		case opts.Cache:
+			e.cache = newSymCache()
+		}
 	}
 	return e
 }
@@ -300,11 +317,27 @@ func (w *engineWorker) rec(depth int) {
 
 // leaf scores one complete candidate: from the symmetry cache when a
 // candidate with the same canonical key was already scored (equal keys
-// guarantee bit-identical objectives), from the objective otherwise.
+// guarantee bit-identical objectives), from the objective otherwise. With
+// a Shared cache the key is namespace-qualified and the memo survives
+// this search; either way a hit returns the bit-identical value an
+// evaluation would have, so the search result never depends on cache
+// state.
 func (w *engineWorker) leaf() {
 	e := w.e
 	var t float64
-	if e.cache != nil {
+	switch {
+	case e.shared != nil:
+		w.key = append(w.key[:0], e.ns...)
+		w.key = e.pr.CanonicalKey(w.key, w.cand)
+		if ct, ok := e.shared.get(w.key); ok {
+			e.hits.Add(1)
+			t = ct
+		} else {
+			t = w.obj(w.cand)
+			e.evals.Add(1)
+			e.shared.put(w.key, t)
+		}
+	case e.cache != nil:
 		w.key = e.pr.CanonicalKey(w.key[:0], w.cand)
 		if ct, ok := e.cache.get(w.key); ok {
 			e.hits.Add(1)
@@ -314,7 +347,7 @@ func (w *engineWorker) leaf() {
 			e.evals.Add(1)
 			e.cache.put(w.key, t)
 		}
-	} else {
+	default:
 		t = w.obj(w.cand)
 		e.evals.Add(1)
 	}

@@ -11,7 +11,9 @@
 package mapper
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 )
@@ -114,6 +116,32 @@ type Options struct {
 	// candidates whose canonical keys collide are scored once. Ignored
 	// when the problem supplies no key function.
 	Cache bool
+	// Shared, when non-nil, memoises objective values in this
+	// caller-owned cross-search cache instead of a per-call one, so the
+	// memoisation survives across Solve calls (the hmpid daemon's warm
+	// path). It requires a non-empty Namespace: canonical keys identify a
+	// candidate's shape, not the cost model scoring it, so entries from
+	// different clusters or model instances must never alias. Ignored
+	// when the problem supplies no CanonicalKey. Hits return values
+	// bit-identical to evaluation, so the assignment returned is
+	// independent of the cache's content, size, and eviction history.
+	Shared *SelectionCache
+	// Namespace is the key prefix qualifying every Shared entry this
+	// search reads or writes — typically estimator.AppendNamespace's
+	// digest of the cluster's link costs and the instantiated model.
+	Namespace []byte
+	// MemoKey, when non-empty alongside Shared, additionally memoises the
+	// whole solve: the final assignment is stored in Shared under a digest
+	// of MemoKey, the problem, and the result-affecting options, and a
+	// repeated Solve returns it without searching (Stats.Memoized marks
+	// such a result). The caller's MemoKey must pin everything the
+	// objective depends on that the problem's own fields do not — for
+	// Timeof objectives, estimator.AppendMemoKey (cost model + placement +
+	// speeds). Every strategy is deterministic given those inputs, so a
+	// memoised assignment is bit-identical to the search it replaces;
+	// searches under a wall-clock Budget are the one exception and are
+	// never memoised.
+	MemoKey []byte
 	// Restarts is the number of local-search starts for
 	// StrategyGreedyLocal (default 1): start 0 climbs from the greedy
 	// seed, further starts climb from deterministic pseudo-random
@@ -166,6 +194,86 @@ func Solve(pr Problem, opts Options) (Assignment, error) {
 	opts.fill()
 	if err := validate(pr); err != nil {
 		return Assignment{}, err
+	}
+	if opts.Shared != nil && len(opts.Namespace) == 0 && pr.CanonicalKey != nil {
+		return Assignment{}, fmt.Errorf("mapper: a Shared selection cache needs a Namespace (canonical keys do not identify the cluster or model)")
+	}
+	// Whole-solve memo: with a MemoKey, a repeated problem skips the
+	// search entirely. Budgeted searches are wall-clock-dependent, so
+	// they are neither served from nor stored into the memo.
+	var memoShared *SelectionCache
+	var memoKey []byte
+	if opts.Shared != nil && len(opts.MemoKey) > 0 && opts.Budget == 0 {
+		memoKey = appendSolveDigest(append([]byte(nil), opts.MemoKey...), pr, opts)
+		if a, ok := opts.Shared.getSolve(memoKey); ok {
+			return a, nil
+		}
+		memoShared = opts.Shared
+	}
+	a, err := solve(pr, opts)
+	if err == nil && memoShared != nil {
+		memoShared.putSolve(memoKey, a)
+	}
+	return a, err
+}
+
+// appendSolveDigest extends the caller's MemoKey with every problem and
+// option field that determines the search result. Parallelism, Prune and
+// Cache are absent on purpose: they never change the assignment (only
+// how fast it is found), so solves differing only there share entries.
+func appendSolveDigest(dst []byte, pr Problem, opts Options) []byte {
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		dst = append(dst, buf[:]...)
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	u64(uint64(opts.Strategy))
+	u64(uint64(opts.ExhaustiveLimit))
+	u64(uint64(opts.MaxIterations))
+	u64(uint64(opts.RandomTries))
+	u64(uint64(opts.Restarts))
+	u64(uint64(pr.P))
+	u64(uint64(len(pr.Avail)))
+	for _, r := range pr.Avail {
+		u64(uint64(r))
+		if pr.SpeedOf != nil {
+			f64(pr.SpeedOf(r))
+		}
+	}
+	fixed := make([]int, 0, len(pr.Fixed))
+	for a := range pr.Fixed {
+		fixed = append(fixed, a)
+	}
+	sort.Ints(fixed)
+	u64(uint64(len(fixed)))
+	for _, a := range fixed {
+		u64(uint64(a))
+		u64(uint64(pr.Fixed[a]))
+	}
+	u64(uint64(len(pr.Weights)))
+	for _, w := range pr.Weights {
+		f64(w)
+	}
+	return dst
+}
+
+// solve dispatches to the search strategy.
+func solve(pr Problem, opts Options) (Assignment, error) {
+	// Route the heuristic strategies' evaluations through the shared
+	// cache by wrapping the objective; the exhaustive engine integrates
+	// the cache at its leaves instead (see newEngine), so it keeps the
+	// untouched problem. Shared is cleared once wrapped so the portfolio's
+	// internal exhaustive runs don't double-count lookups.
+	if opts.Shared != nil && pr.CanonicalKey != nil {
+		exhaustiveDispatch := opts.Strategy == StrategyExhaustive ||
+			(opts.Strategy != StrategyGreedy && opts.Strategy != StrategyGreedyLocal &&
+				opts.Strategy != StrategyRandomBest && opts.Strategy != StrategyPortfolio &&
+				exhaustiveCost(len(pr.Avail), pr.P, opts.ExhaustiveLimit) > 0)
+		if !exhaustiveDispatch {
+			pr = sharedObjective(pr, opts.Shared, opts.Namespace)
+			opts.Shared, opts.Namespace = nil, nil
+		}
 	}
 	switch opts.Strategy {
 	case StrategyExhaustive:

@@ -1,0 +1,125 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+
+	"repro/internal/jobspec"
+)
+
+// Client talks the proto.go protocol to a running daemon. Each call
+// dials a fresh connection (the protocol is one request per connection),
+// so a zero-value-plus-address client is safe for concurrent use.
+type Client struct {
+	Network string // "unix" or "tcp"
+	Addr    string
+}
+
+// NewClient returns a client for the daemon's unix control socket.
+func NewClient(socket string) *Client {
+	return &Client{Network: "unix", Addr: socket}
+}
+
+// roundTrip sends one request and decodes one response.
+func (c *Client) roundTrip(req Request) (Response, error) {
+	conn, err := net.Dial(c.Network, c.Addr)
+	if err != nil {
+		return Response{}, err
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(req); err != nil {
+		return Response{}, err
+	}
+	var resp Response
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("service: reading response: %w", err)
+	}
+	if !resp.OK {
+		err = fmt.Errorf("%s", resp.Error)
+	}
+	return resp, err
+}
+
+// jobCall unwraps ops that answer with a job snapshot.
+func (c *Client) jobCall(req Request) (JobInfo, error) {
+	resp, err := c.roundTrip(req)
+	if resp.Job != nil {
+		return *resp.Job, err
+	}
+	if err == nil {
+		err = fmt.Errorf("service: %s returned no job", req.Op)
+	}
+	return JobInfo{}, err
+}
+
+// Submit queues a job; wait blocks until it is terminal. A rejected job
+// comes back with its snapshot AND a non-nil error.
+func (c *Client) Submit(spec jobspec.Spec, wait bool) (JobInfo, error) {
+	return c.jobCall(Request{Op: OpSubmit, Spec: &spec, Wait: wait})
+}
+
+// Status fetches a cheap job snapshot.
+func (c *Client) Status(id string) (JobInfo, error) {
+	return c.jobCall(Request{Op: OpStatus, ID: id})
+}
+
+// Result blocks until the job is terminal and fetches the full snapshot.
+func (c *Client) Result(id string) (JobInfo, error) {
+	return c.jobCall(Request{Op: OpResult, ID: id})
+}
+
+// Cancel cancels a queued job.
+func (c *Client) Cancel(id string) (JobInfo, error) {
+	return c.jobCall(Request{Op: OpCancel, ID: id})
+}
+
+// Stats fetches the server counters.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.roundTrip(Request{Op: OpStats})
+	if err != nil {
+		return Stats{}, err
+	}
+	return *resp.Stats, nil
+}
+
+// Shutdown asks the daemon to drain and exit.
+func (c *Client) Shutdown() error {
+	_, err := c.roundTrip(Request{Op: OpShutdown})
+	return err
+}
+
+// Watch streams the job's event log from seq `from`: each batch of
+// events is handed to fn as it appears, and the final full snapshot is
+// returned once the job is terminal.
+func (c *Client) Watch(id string, from int, fn func(JobEvent)) (JobInfo, error) {
+	conn, err := net.Dial(c.Network, c.Addr)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	defer conn.Close()
+	if err := json.NewEncoder(conn).Encode(Request{Op: OpWatch, ID: id, From: from}); err != nil {
+		return JobInfo{}, err
+	}
+	dec := json.NewDecoder(conn)
+	for {
+		var resp Response
+		if err := dec.Decode(&resp); err != nil {
+			return JobInfo{}, fmt.Errorf("service: watch stream: %w", err)
+		}
+		if !resp.OK {
+			return JobInfo{}, fmt.Errorf("%s", resp.Error)
+		}
+		if fn != nil {
+			for _, e := range resp.Events {
+				fn(e)
+			}
+		}
+		if resp.Final {
+			if resp.Job == nil {
+				return JobInfo{}, fmt.Errorf("service: watch closed without a snapshot")
+			}
+			return *resp.Job, nil
+		}
+	}
+}

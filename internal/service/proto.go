@@ -1,0 +1,169 @@
+// proto.go is hmpid's control-socket protocol: one JSON request per
+// connection, answered by one JSON response — except `watch`, which
+// streams the job's event log as JSON lines (one Response per batch)
+// until the job is terminal, then closes with the full job snapshot.
+// The transport is any net.Listener; the daemon uses a unix socket.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/jobspec"
+)
+
+// Ops accepted on the control socket.
+const (
+	OpSubmit   = "submit"
+	OpStatus   = "status"
+	OpResult   = "result"
+	OpCancel   = "cancel"
+	OpWatch    = "watch"
+	OpStats    = "stats"
+	OpShutdown = "shutdown"
+)
+
+// Request is one control-socket message from a client.
+type Request struct {
+	Op   string        `json:"op"`
+	Spec *jobspec.Spec `json:"spec,omitempty"` // submit
+	ID   string        `json:"id,omitempty"`   // status/result/cancel/watch
+	From int           `json:"from,omitempty"` // watch: first event Seq wanted
+	Wait bool          `json:"wait,omitempty"` // submit: block until terminal
+}
+
+// Response is one control-socket message to a client. Watch streams a
+// Response per event batch (Events set, Final false), then a closing
+// Response with the job snapshot and Final true.
+type Response struct {
+	OK     bool       `json:"ok"`
+	Error  string     `json:"error,omitempty"`
+	Job    *JobInfo   `json:"job,omitempty"`
+	Stats  *Stats     `json:"stats,omitempty"`
+	Events []JobEvent `json:"events,omitempty"`
+	Final  bool       `json:"final,omitempty"`
+}
+
+// Serve accepts connections until the listener closes or a client issues
+// a shutdown op; either way it closes the server (draining queued jobs)
+// before returning. One goroutine per connection.
+func (s *Server) Serve(ln net.Listener) error {
+	var conns sync.WaitGroup
+	shutdown := make(chan struct{})
+	var once sync.Once
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			conns.Wait()
+			s.Close()
+			select {
+			case <-shutdown:
+				return nil // deliberate stop, not an accept failure
+			default:
+				return err
+			}
+		}
+		conns.Add(1)
+		go func() {
+			defer conns.Done()
+			if s.handle(conn) {
+				once.Do(func() { close(shutdown); ln.Close() })
+			}
+		}()
+	}
+}
+
+// handle serves one connection; it reports whether the client asked for
+// a daemon shutdown.
+func (s *Server) handle(conn net.Conn) bool {
+	defer conn.Close()
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		if !errors.Is(err, io.EOF) {
+			enc.Encode(Response{Error: fmt.Sprintf("bad request: %v", err)})
+		}
+		return false
+	}
+	switch req.Op {
+	case OpSubmit:
+		if req.Spec == nil {
+			enc.Encode(Response{Error: "submit without spec"})
+			return false
+		}
+		info, err := s.Submit(*req.Spec)
+		if err != nil {
+			enc.Encode(Response{Error: err.Error(), Job: maybeJob(info)})
+			return false
+		}
+		if req.Wait {
+			if info, err = s.Result(info.ID); err != nil {
+				enc.Encode(Response{Error: err.Error()})
+				return false
+			}
+		}
+		enc.Encode(Response{OK: true, Job: &info})
+	case OpStatus, OpResult, OpCancel:
+		var info JobInfo
+		var err error
+		switch req.Op {
+		case OpStatus:
+			info, err = s.Status(req.ID)
+		case OpResult:
+			info, err = s.Result(req.ID)
+		case OpCancel:
+			info, err = s.Cancel(req.ID)
+		}
+		if err != nil {
+			enc.Encode(Response{Error: err.Error(), Job: maybeJob(info)})
+			return false
+		}
+		enc.Encode(Response{OK: true, Job: &info})
+	case OpWatch:
+		from := req.From
+		for {
+			evs, terminal, err := s.WatchEvents(req.ID, from)
+			if err != nil {
+				enc.Encode(Response{Error: err.Error()})
+				return false
+			}
+			if len(evs) > 0 {
+				if err := enc.Encode(Response{OK: true, Events: evs}); err != nil {
+					return false // watcher went away
+				}
+				from = evs[len(evs)-1].Seq + 1
+			}
+			if terminal {
+				info, err := s.Result(req.ID)
+				if err != nil {
+					enc.Encode(Response{Error: err.Error()})
+					return false
+				}
+				enc.Encode(Response{OK: true, Job: &info, Final: true})
+				return false
+			}
+		}
+	case OpStats:
+		st := s.Stats()
+		enc.Encode(Response{OK: true, Stats: &st})
+	case OpShutdown:
+		enc.Encode(Response{OK: true})
+		return true
+	default:
+		enc.Encode(Response{Error: fmt.Sprintf("unknown op %q", req.Op)})
+	}
+	return false
+}
+
+// maybeJob returns &info when it names a job (rejections carry one).
+func maybeJob(info JobInfo) *JobInfo {
+	if info.ID == "" {
+		return nil
+	}
+	return &info
+}

@@ -1,0 +1,115 @@
+package service
+
+import (
+	"net"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/jobspec"
+)
+
+// startDaemon runs a server behind a unix control socket and returns a
+// client plus the Serve error channel.
+func startDaemon(t *testing.T, cfg Config) (*Client, chan error) {
+	t.Helper()
+	socket := filepath.Join(t.TempDir(), "hmpid.sock")
+	ln, err := net.Listen("unix", socket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cfg)
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve(ln) }()
+	t.Cleanup(func() {
+		ln.Close()
+		<-errc // Serve closed the server; just collect it
+	})
+	return NewClient(socket), errc
+}
+
+// TestProtoRoundTrip exercises the whole JSON job API over the socket:
+// submit, status, watch-stream, result, stats, shutdown.
+func TestProtoRoundTrip(t *testing.T) {
+	c, errc := startDaemon(t, Config{Workers: 2})
+
+	spec := jobspec.Default()
+	spec.Nodes, spec.Iters, spec.Tenant = 40_000, 2, "acme"
+	sub, err := c.Submit(spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.ID == "" || sub.Predicted <= 0 {
+		t.Fatalf("bad submission echo: %+v", sub)
+	}
+	if _, err := c.Status(sub.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Watch streams the event log and closes with the full snapshot.
+	var seen []State
+	final, err := c.Watch(sub.ID, 0, func(e JobEvent) { seen = append(seen, e.State) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) == 0 || seen[0] != StateQueued || final.State != StateDone {
+		t.Fatalf("watch saw %v, final %v", seen, final.State)
+	}
+	if final.Result == nil || final.Trace == nil || final.Metrics == nil {
+		t.Fatalf("final snapshot incomplete: result %v trace %v metrics %v",
+			final.Result != nil, final.Trace != nil, final.Metrics != nil)
+	}
+
+	// Submit-and-wait resolves in one round trip; a repeated spec must be
+	// bit-identical and cache-warm.
+	again, err := c.Submit(spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.State != StateDone || again.Result.Makespan != final.Result.Makespan {
+		t.Fatalf("repeat run diverged: %v vs %v", again.Result, final.Result)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.States[StateDone] != 2 || st.Tenants["acme"] != 2 || st.Cache.Hits == 0 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+
+	// Unknown ops and unknown jobs answer with errors, not hangs.
+	if _, err := c.Status("j404"); err == nil {
+		t.Fatal("status of unknown job succeeded")
+	}
+	if _, err := c.roundTrip(Request{Op: "bogus"}); err == nil {
+		t.Fatal("unknown op succeeded")
+	}
+
+	// Shutdown drains and Serve returns nil.
+	if err := c.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("Serve returned %v after shutdown", err)
+	}
+	errc <- nil // keep Cleanup's drain satisfied
+}
+
+// TestProtoRejectionCarriesJob: a rejected submission still returns the
+// job snapshot so the client can report the admission price.
+func TestProtoRejectionCarriesJob(t *testing.T) {
+	spec := jobspec.Default()
+	spec.Nodes, spec.Iters = 40_000, 2
+	price, err := spec.Predict(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := startDaemon(t, Config{Workers: 1, Budget: price / 2})
+	info, err := c.Submit(spec, false)
+	if err == nil {
+		t.Fatal("over-budget submission succeeded")
+	}
+	if info.State != StateRejected || info.Predicted <= 0 {
+		t.Fatalf("rejection lost the job snapshot: %+v", info)
+	}
+}
